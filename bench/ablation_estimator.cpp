@@ -1,0 +1,113 @@
+// Ablation: the system-state estimator (Eqs. 1-5) behind the observed
+// back-off samples.
+//
+// For each (load, PM, activity-mapping) it reports the mean expected
+// back-off E[x], the mean observed estimate E[y], their ratio (the
+// estimator bias that the permissible margin must absorb), the correlation
+// between x and y, and the resulting detection/false-alarm rates. This is
+// the design-choice study behind DESIGN.md's "per-slot activity
+// calibration" decision, and doubles as the tuning harness for
+// margin_fraction / alpha.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "detect/monitor.hpp"
+#include "net/network.hpp"
+#include "util/stats.hpp"
+
+using namespace manet;
+
+namespace {
+
+struct Diag {
+  double mean_x = 0, mean_y = 0, ratio = 0, corr = 0;
+  double flag_rate = 0;
+  std::uint64_t windows = 0, samples = 0;
+};
+
+Diag run_once(const net::ScenarioConfig& scenario, double rate, double pm,
+              detect::ActivityMapping mapping, std::size_t sample_size) {
+  net::Network net(scenario);
+  const NodeId s = net.center_node();
+  const NodeId r = net.neighbors(s, net.config().prop.tx_range_m, 0).front();
+
+  net.add_flow(s, r, rate);
+  net.build_random_flows();
+  net.set_flow_rates(rate);
+  if (pm > 0) {
+    net.mac(s).set_backoff_policy(std::make_unique<mac::PercentMisbehavior>(pm));
+  }
+
+  detect::MonitorConfig mc;
+  mc.sample_size = sample_size;
+  mc.mapping = mapping;
+  mc.record_samples = true;
+  mc.fixed_n = mc.fixed_k = mc.fixed_m = mc.fixed_j = 5.0;
+  mc.fixed_contenders = 20.0;
+  detect::Monitor monitor(net.simulator(), net.mac(r), net.timeline(r), s, mc);
+
+  const SimTime stop = seconds_to_time(scenario.sim_seconds);
+  net.start_traffic(0, stop);
+  net.run_until(stop);
+
+  Diag d;
+  std::vector<double> xs, ys;
+  for (const auto& rec : monitor.sample_log()) {
+    if (!rec.accepted) continue;
+    xs.push_back(rec.expected);
+    ys.push_back(rec.observed);
+  }
+  d.samples = xs.size();
+  d.windows = monitor.stats().windows;
+  d.mean_x = util::mean_of(xs);
+  d.mean_y = util::mean_of(ys);
+  d.ratio = d.mean_x > 0 ? d.mean_y / d.mean_x : 0;
+  d.corr = util::correlation(xs, ys);
+  d.flag_rate = monitor.flag_rate();
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Config config;
+  config.declare("loads", "0.3,0.6,0.9", "target traffic intensities");
+  config.declare("pms", "0,25,50,90", "PM values probed");
+  config.declare("sim_time", "120", "simulated seconds per point");
+  config.declare("sample_size", "10", "Wilcoxon window size");
+  config.declare("seed", "501", "random seed");
+  bench::parse_or_exit(argc, argv, config,
+                       "Ablation: estimator bias and mapping choice.");
+
+  bench::print_header(
+      "Ablation: system-state estimator (activity mapping, bias, correlation)",
+      "y tracks x (ratio ~1, positive correlation) under H0; ratio drops with PM");
+
+  net::ScenarioConfig scenario;
+  scenario.sim_seconds = config.get_double("sim_time");
+  scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+  bench::RateCache rates(scenario);
+
+  std::printf("  %-6s %-5s %-10s %-8s %-8s %-8s %-7s %-9s %-8s\n", "load", "PM",
+              "mapping", "E[x]", "E[y]", "y/x", "corr", "flagrate", "samples");
+
+  for (double load : bench::parse_double_list(config.get("loads"))) {
+    const double rate = rates.rate_for(load);
+    for (double pm : bench::parse_double_list(config.get("pms"))) {
+      for (auto mapping : {detect::ActivityMapping::kPerSlot,
+                           detect::ActivityMapping::kIdentity}) {
+        const Diag d = run_once(scenario, rate, pm, mapping,
+                                static_cast<std::size_t>(config.get_int("sample_size")));
+        std::printf("  %-6.1f %-5.0f %-10s %-8.2f %-8.2f %-8.3f %-7.3f %-9.3f %-8llu\n",
+                    load, pm,
+                    mapping == detect::ActivityMapping::kPerSlot ? "per-slot"
+                                                                 : "identity",
+                    d.mean_x, d.mean_y, d.ratio, d.corr, d.flag_rate,
+                    static_cast<unsigned long long>(d.samples));
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

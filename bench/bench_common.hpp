@@ -1,0 +1,84 @@
+// Shared plumbing for the figure-reproduction benches: flag handling,
+// per-load rate calibration with caching, and table formatting.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/load.hpp"
+#include "net/scenario.hpp"
+#include "util/config.hpp"
+#include "util/flags.hpp"
+
+namespace manet::bench {
+
+/// Parses --key=value flags into `config`; prints help and exits(0) when
+/// --help is passed; exits(1) on bad flags.
+inline void parse_or_exit(int argc, char** argv, util::Config& config,
+                          const char* description) {
+  try {
+    const auto parsed = util::parse_flags(argc, argv, config);
+    if (parsed.help) {
+      std::printf("%s\n\nFlags (--key=value):\n%s", description,
+                  config.render().c_str());
+      std::exit(0);
+    }
+  } catch (const util::ConfigError& e) {
+    std::fprintf(stderr, "flag error: %s\n", e.what());
+    std::exit(1);
+  }
+}
+
+/// Calibrates (and caches) the per-flow rate that produces `load` at the
+/// monitored pair for this scenario family. Keyed on the load only: one
+/// bench works a single scenario family.
+class RateCache {
+ public:
+  explicit RateCache(const net::ScenarioConfig& scenario) : scenario_(scenario) {}
+
+  double rate_for(double load) {
+    auto it = cache_.find(load);
+    if (it != cache_.end()) return it->second;
+    const auto setup = [](net::Network& net) {
+      const NodeId s = net.center_node();
+      const auto nbrs = net.neighbors(s, net.config().prop.tx_range_m, 0);
+      if (!nbrs.empty()) net.add_flow(s, nbrs.front(), 1.0);
+      net.build_random_flows();
+    };
+    const auto result = net::calibrate_load(scenario_, load, setup);
+    std::printf("# calibrated load %.2f -> %.2f pkt/s per flow "
+                "(measured busy fraction %.3f, %d probe runs)\n",
+                load, result.packets_per_second, result.measured_busy_fraction,
+                result.probe_runs);
+    std::fflush(stdout);
+    cache_.emplace(load, result.packets_per_second);
+    return result.packets_per_second;
+  }
+
+ private:
+  net::ScenarioConfig scenario_;
+  std::map<double, double> cache_;
+};
+
+inline void print_header(const char* figure, const char* claim) {
+  std::printf("# %s\n# Paper claim: %s\n", figure, claim);
+}
+
+/// Parses a comma-separated list of doubles ("0.3,0.6,0.9").
+inline std::vector<double> parse_double_list(const std::string& text) {
+  std::vector<double> out;
+  std::string token;
+  for (char c : text + ",") {
+    if (c == ',') {
+      if (!token.empty()) out.push_back(std::stod(token));
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace manet::bench

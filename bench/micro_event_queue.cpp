@@ -1,0 +1,61 @@
+// Microbenchmark: discrete-event kernel throughput — the floor under every
+// simulation second this library runs.
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using manet::sim::EventQueue;
+using manet::sim::Simulator;
+
+void BM_ScheduleAndPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  manet::util::Xoshiro256ss rng(1);
+  for (auto _ : state) {
+    EventQueue q;
+    for (std::size_t i = 0; i < batch; ++i) {
+      q.schedule(static_cast<manet::SimTime>(rng.uniform_int(1u << 20)), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ScheduleAndPop)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_ScheduleCancel(benchmark::State& state) {
+  // The MAC cancels timers constantly; cancel must be O(1)-ish.
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < 1024; ++i) {
+      const auto id = q.schedule(i, [] {});
+      q.cancel(id);
+    }
+    benchmark::DoNotOptimize(q.empty());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_ScheduleCancel);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  // A single self-rescheduling timer: the pattern of per-node periodic work.
+  for (auto _ : state) {
+    Simulator sim;
+    int remaining = 10000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.after(20, tick);
+    };
+    sim.at(0, tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulatorSelfScheduling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

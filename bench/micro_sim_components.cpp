@@ -1,0 +1,113 @@
+// Microbenchmarks of the per-slot / per-frame primitives: the verifiable
+// PRS lookup, the system-state equations, the ARMA update, the lens-area
+// geometry, and a complete two-node DCF exchange through the whole stack.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "detect/arma.hpp"
+#include "detect/system_state.hpp"
+#include "geom/circle.hpp"
+#include "mac/backoff.hpp"
+#include "mac/dcf.hpp"
+#include "phy/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace manet;
+
+void BM_PrsDictatedSlots(benchmark::State& state) {
+  mac::DcfParams params;
+  mac::VerifiableBackoff prs(42, params);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    benchmark::DoNotOptimize(prs.dictated_slots(i, 1 + (i & 3)));
+  }
+}
+BENCHMARK(BM_PrsDictatedSlots);
+
+void BM_SystemStateEquations(benchmark::State& state) {
+  const geom::RegionModel regions(240, 550);
+  const detect::SystemStateModel model(regions);
+  detect::SystemStateParams p;
+  p.k = p.n = p.m = p.j = 5;
+  p.contenders = 20;
+  double rho = 0.0;
+  for (auto _ : state) {
+    p.rho = rho;
+    rho = rho >= 0.9 ? 0.0 : rho + 0.01;
+    benchmark::DoNotOptimize(model.estimated_idle(p, 70, 30));
+  }
+}
+BENCHMARK(BM_SystemStateEquations);
+
+void BM_ArmaUpdate(benchmark::State& state) {
+  detect::ArmaIntensityFilter filter(0.995);
+  double b = 0.0;
+  for (auto _ : state) {
+    filter.add_batch(b);
+    b = b >= 1.0 ? 0.0 : b + 0.001;
+    benchmark::DoNotOptimize(filter.intensity());
+  }
+}
+BENCHMARK(BM_ArmaUpdate);
+
+void BM_LensArea(benchmark::State& state) {
+  double d = 0.0;
+  for (auto _ : state) {
+    d = d >= 1000.0 ? 1.0 : d + 1.0;
+    benchmark::DoNotOptimize(geom::lens_area(550.0, d));
+  }
+}
+BENCHMARK(BM_LensArea);
+
+struct FixedPositions : phy::PositionProvider {
+  geom::Vec2 position(NodeId node, SimTime) const override {
+    return {node * 200.0, 0.0};
+  }
+};
+
+void BM_FullDcfExchange(benchmark::State& state) {
+  // Cost of one complete RTS/CTS/DATA/ACK exchange through PHY+MAC.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    mac::DcfParams params;
+    phy::Propagation prop(phy::PropagationParams{}, 1);
+    FixedPositions positions;
+    phy::Channel channel(sim, prop, positions);
+    phy::Radio r0(0, channel), r1(1, channel);
+    mac::DcfMac m0(sim, r0, params), m1(sim, r1, params);
+    m0.enqueue(1, 512, 1);
+    sim.run();
+    benchmark::DoNotOptimize(m1.stats().packets_delivered);
+  }
+}
+BENCHMARK(BM_FullDcfExchange);
+
+void BM_SaturatedPairSimSecond(benchmark::State& state) {
+  // Simulated-seconds-per-wallclock-second for a saturated two-node link.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    mac::DcfParams params;
+    phy::Propagation prop(phy::PropagationParams{}, 1);
+    FixedPositions positions;
+    phy::Channel channel(sim, prop, positions);
+    phy::Radio r0(0, channel), r1(1, channel);
+    mac::DcfMac m0(sim, r0, params), m1(sim, r1, params);
+    std::uint64_t id = 0;
+    std::function<void()> refill = [&] {
+      while (m0.queue_length() < 40) m0.enqueue(1, 512, ++id);
+      if (sim.now() < 1 * kSecond) sim.after(100 * kMillisecond, refill);
+    };
+    sim.at(0, refill);
+    sim.run_until(1 * kSecond);
+    benchmark::DoNotOptimize(m1.stats().packets_delivered);
+  }
+}
+BENCHMARK(BM_SaturatedPairSimSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Microbenchmark: Wilcoxon rank-sum test cost per monitor window.
+// The monitor runs one test per completed window; at sample size 10 the
+// exact permutation DP must stay in the tens of microseconds.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "detect/wilcoxon.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using manet::detect::wilcoxon_rank_sum;
+using manet::detect::WilcoxonOptions;
+
+std::vector<double> sample(std::size_t n, double scale, std::uint64_t seed) {
+  manet::util::Xoshiro256ss rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.uniform(0, 32) * scale;
+  return out;
+}
+
+void BM_WilcoxonExact(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = sample(n, 1.0, 1);
+  const auto y = sample(n, 0.7, 2);
+  WilcoxonOptions opts;
+  opts.exact_max_total = 2 * n;  // force the exact path
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wilcoxon_rank_sum(x, y, opts).p_less);
+  }
+}
+BENCHMARK(BM_WilcoxonExact)->Arg(5)->Arg(10)->Arg(15)->Arg(20);
+
+void BM_WilcoxonApprox(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = sample(n, 1.0, 3);
+  const auto y = sample(n, 0.7, 4);
+  WilcoxonOptions opts;
+  opts.exact_max_total = 0;  // force the normal approximation
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wilcoxon_rank_sum(x, y, opts).p_less);
+  }
+}
+BENCHMARK(BM_WilcoxonApprox)->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

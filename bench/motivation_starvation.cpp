@@ -1,0 +1,95 @@
+// Motivation (paper Section 1): a back-off cheater causes "a drastically
+// reduced allocation of bandwidth to well-behaved nodes ... bandwidth
+// starvation and hence a denial of service".
+//
+// Two saturated contenders share one receiver; one of them misbehaves with
+// increasing PM. We report each station's goodput and the Jain fairness
+// index — reproducing the DoS effect that justifies the detection
+// framework.
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mac/dcf.hpp"
+#include "phy/channel.hpp"
+#include "sim/simulator.hpp"
+
+using namespace manet;
+
+namespace {
+
+struct Line : phy::PositionProvider {
+  geom::Vec2 position(NodeId n, SimTime) const override {
+    static constexpr double xs[] = {0, 200, 100};
+    static constexpr double ys[] = {0, 0, 170};
+    return {xs[n], ys[n]};
+  }
+};
+
+struct Throughputs {
+  double attacker_pps = 0;
+  double honest_pps = 0;
+};
+
+Throughputs run(double pm, double seconds) {
+  sim::Simulator sim;
+  mac::DcfParams params;
+  phy::Propagation prop(phy::PropagationParams{}, 1);
+  Line positions;
+  phy::Channel channel(sim, prop, positions);
+  phy::Radio r0(0, channel), r1(1, channel), r2(2, channel);
+  mac::DcfMac attacker(sim, r0, params), receiver(sim, r1, params),
+      honest(sim, r2, params);
+  if (pm > 0) {
+    attacker.set_backoff_policy(std::make_unique<mac::PercentMisbehavior>(pm));
+  }
+
+  const SimTime stop = seconds_to_time(seconds);
+  std::uint64_t id = 1;
+  std::function<void()> feeder = [&] {
+    while (attacker.queue_length() < 40) attacker.enqueue(1, 512, id++);
+    while (honest.queue_length() < 40) honest.enqueue(1, 512, id++);
+    if (sim.now() < stop) sim.after(100 * kMillisecond, feeder);
+  };
+  sim.at(0, feeder);
+  sim.run_until(stop);
+
+  Throughputs t;
+  t.attacker_pps = static_cast<double>(attacker.stats().packets_acked) / seconds;
+  t.honest_pps = static_cast<double>(honest.stats().packets_acked) / seconds;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Config config;
+  config.declare("pms", "0,25,50,65,80,90,95,100", "attacker PM values");
+  config.declare("sim_time", "30", "simulated seconds per point");
+  bench::parse_or_exit(argc, argv, config,
+                       "Motivation: bandwidth starvation caused by a back-off "
+                       "cheater (paper Section 1).");
+
+  bench::print_header(
+      "Motivation: throughput capture by a back-off cheater",
+      "a misbehaving node acquires the channel more often; at high PM the "
+      "honest contender is starved (denial of service)");
+
+  std::printf("  %-5s %-14s %-14s %-8s %-9s\n", "PM", "attacker pkt/s",
+              "honest pkt/s", "share", "fairness");
+  for (double pm : bench::parse_double_list(config.get("pms"))) {
+    const Throughputs t = run(pm, config.get_double("sim_time"));
+    const double total = t.attacker_pps + t.honest_pps;
+    const double share = total > 0 ? t.attacker_pps / total : 0;
+    // Jain fairness index for two flows.
+    const double denom = 2 * (t.attacker_pps * t.attacker_pps +
+                              t.honest_pps * t.honest_pps);
+    const double jain = denom > 0 ? total * total / denom : 1.0;
+    std::printf("  %-5.0f %-14.1f %-14.1f %-8.2f %-9.3f\n", pm, t.attacker_pps,
+                t.honest_pps, share, jain);
+    std::fflush(stdout);
+  }
+  return 0;
+}

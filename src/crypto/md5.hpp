@@ -1,0 +1,51 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// The paper attaches an MD5 digest of the upcoming DATA frame to each RTS
+// so monitors can verify that a retransmission really carries the same
+// payload (and hence that the announced Attempt# is honest). MD5 is not
+// collision-resistant by modern standards; it is used here exactly as the
+// paper specifies, as a payload fingerprint.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace manet::crypto {
+
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+/// Incremental MD5 context.
+class Md5 {
+ public:
+  Md5();
+
+  /// Absorbs `data` into the hash state.
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text);
+
+  /// Finalizes and returns the digest. The context must not be updated
+  /// afterwards (reset() to reuse).
+  Md5Digest finalize();
+
+  /// Resets to the initial state.
+  void reset();
+
+  /// One-shot helpers.
+  static Md5Digest hash(std::span<const std::uint8_t> data);
+  static Md5Digest hash(std::string_view text);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t bit_count_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+/// Lowercase hex rendering of a digest.
+std::string to_hex(const Md5Digest& digest);
+
+}  // namespace manet::crypto

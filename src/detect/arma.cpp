@@ -1,0 +1,17 @@
+#include "detect/arma.hpp"
+
+namespace manet::detect {
+
+void ArmaIntensityFilter::add_batch(double busy_fraction) {
+  if (busy_fraction < 0.0) busy_fraction = 0.0;
+  if (busy_fraction > 1.0) busy_fraction = 1.0;
+  if (!primed_) {
+    rho_ = busy_fraction;
+    primed_ = true;
+  } else {
+    rho_ = alpha_ * rho_ + (1.0 - alpha_) * busy_fraction;
+  }
+  ++batches_;
+}
+
+}  // namespace manet::detect

@@ -1,0 +1,42 @@
+// Online traffic-intensity estimation — the paper's Equation 6:
+//
+//   rho(t) = alpha * rho(t-1) + (1 - alpha) * (1/s) * sum_{i} b_i
+//
+// where b_i is 1 when the i-th observed slot was busy and s is the sample
+// (batch) size. alpha = 0.995 following Bianchi & Tinnirello's run-time
+// estimator; the paper notes (and our ablation bench confirms) that results
+// are insensitive to alpha near 1.
+#pragma once
+
+#include <cstddef>
+
+namespace manet::detect {
+
+class ArmaIntensityFilter {
+ public:
+  explicit ArmaIntensityFilter(double alpha = 0.995) : alpha_(alpha) {}
+
+  /// Feeds one batch's busy fraction ((1/s) * sum b_i). The first batch
+  /// initializes the filter directly, avoiding a long cold-start transient.
+  void add_batch(double busy_fraction);
+
+  /// Feeds `s` individual slot observations as a pre-summed batch.
+  void add_slots(std::size_t busy, std::size_t total) {
+    if (total != 0) add_batch(static_cast<double>(busy) / static_cast<double>(total));
+  }
+
+  /// Current smoothed traffic intensity (0 before any batch).
+  double intensity() const { return rho_; }
+
+  bool primed() const { return primed_; }
+  double alpha() const { return alpha_; }
+  std::size_t batches() const { return batches_; }
+
+ private:
+  double alpha_;
+  double rho_ = 0.0;
+  bool primed_ = false;
+  std::size_t batches_ = 0;
+};
+
+}  // namespace manet::detect

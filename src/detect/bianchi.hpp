@@ -1,0 +1,76 @@
+// Run-time estimation of the number of competing terminals, after
+// Bianchi & Tinnirello (INFOCOM 2003) — the paper's Section 4 cites this
+// as the density-estimation mechanism.
+//
+// A passive station classifies the channel events it can observe into
+// successful receptions and corrupted ones (collisions / undecodable
+// overlaps), smooths the conditional collision probability with the same
+// ARMA filter the paper uses for traffic intensity, and inverts Bianchi's
+// saturated-station fixed point to recover the competitor count n.
+//
+// Attach directly to a radio; read `competitors()` whenever needed.
+#pragma once
+
+#include <cstdint>
+
+#include "detect/arma.hpp"
+#include "detect/density.hpp"
+#include "phy/radio.hpp"
+#include "util/types.hpp"
+
+namespace manet::detect {
+
+class CompetingTerminalEstimator : public phy::RadioListener {
+ public:
+  /// `cw_min` must match the network's contention window so the Bianchi
+  /// inversion uses the right tau(p) curve.
+  explicit CompetingTerminalEstimator(std::uint32_t cw_min = 31,
+                                      double arma_alpha = 0.995,
+                                      std::size_t batch_events = 50)
+      : cw_min_(cw_min), arma_(arma_alpha), batch_events_(batch_events) {}
+
+  /// Smoothed conditional collision probability.
+  double collision_probability() const { return arma_.intensity(); }
+
+  /// Estimated number of competing terminals (>= 1).
+  std::size_t competitors() const {
+    if (!arma_.primed()) return 1;
+    return estimate_competitors_from_collisions(arma_.intensity(), cw_min_);
+  }
+
+  std::uint64_t successes() const { return successes_; }
+  std::uint64_t failures() const { return failures_; }
+
+  // phy::RadioListener:
+  void on_receive(const phy::Signal&) override {
+    ++successes_;
+    ++batch_successes_;
+    maybe_flush();
+  }
+  void on_receive_error(const phy::Signal&) override {
+    ++failures_;
+    ++batch_failures_;
+    maybe_flush();
+  }
+  void on_carrier(bool, SimTime) override {}
+  void on_transmit_end(std::uint64_t) override {}
+
+ private:
+  void maybe_flush() {
+    const std::uint64_t total = batch_successes_ + batch_failures_;
+    if (total < batch_events_) return;
+    arma_.add_batch(static_cast<double>(batch_failures_) /
+                    static_cast<double>(total));
+    batch_successes_ = batch_failures_ = 0;
+  }
+
+  std::uint32_t cw_min_;
+  ArmaIntensityFilter arma_;
+  std::size_t batch_events_;
+  std::uint64_t successes_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t batch_successes_ = 0;
+  std::uint64_t batch_failures_ = 0;
+};
+
+}  // namespace manet::detect

@@ -1,0 +1,71 @@
+#include "detect/density.hpp"
+
+#include <cmath>
+
+namespace manet::detect {
+
+void HeardTransmitterDensity::heard(NodeId who, SimTime at) {
+  auto [it, inserted] = last_heard_.emplace(who, at);
+  if (!inserted && it->second < at) it->second = at;
+  prune(at);
+}
+
+void HeardTransmitterDensity::prune(SimTime now) const {
+  const SimTime horizon = now - window_;
+  for (auto it = last_heard_.begin(); it != last_heard_.end();) {
+    if (it->second < horizon) {
+      it = last_heard_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t HeardTransmitterDensity::competitors(SimTime now) const {
+  prune(now);
+  return last_heard_.size();
+}
+
+namespace {
+/// Bianchi's per-slot transmission probability for n saturated stations
+/// with minimum window W and m doubling stages, evaluated together with the
+/// induced collision probability. We fix m = 5 (CWmin 31 -> CWmax 1023).
+double collision_probability_for(std::size_t n, std::uint32_t w) {
+  if (n < 2) return 0.0;
+  constexpr int kStages = 5;
+  // Solve the Bianchi fixed point tau(p), p(tau) by iteration.
+  double p = 0.1;
+  double tau = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double denom =
+        (1 - 2 * p) * (static_cast<double>(w) + 1) +
+        p * static_cast<double>(w) * (1 - std::pow(2 * p, kStages));
+    tau = 2 * (1 - 2 * p) / denom;
+    const double p_new = 1 - std::pow(1 - tau, static_cast<double>(n - 1));
+    if (std::abs(p_new - p) < 1e-12) {
+      p = p_new;
+      break;
+    }
+    p = 0.5 * (p + p_new);
+  }
+  return p;
+}
+}  // namespace
+
+std::size_t estimate_competitors_from_collisions(double collision_probability,
+                                                 std::uint32_t cw_min,
+                                                 std::size_t max_n) {
+  std::size_t best_n = 1;
+  double best_err = 1e300;
+  for (std::size_t n = 1; n <= max_n; ++n) {
+    const double p = collision_probability_for(n, cw_min);
+    const double err = std::abs(p - collision_probability);
+    if (err < best_err) {
+      best_err = err;
+      best_n = n;
+    }
+  }
+  return best_n;
+}
+
+}  // namespace manet::detect

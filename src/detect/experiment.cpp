@@ -1,0 +1,253 @@
+#include "detect/experiment.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "phy/joint_tracker.hpp"
+
+namespace manet::detect {
+
+namespace {
+
+/// Picks a one-hop neighbor of `s` at time `at` (nearest first for
+/// determinism); throws if none exists.
+NodeId pick_neighbor(net::Network& net, NodeId s, SimTime at) {
+  const auto nbrs = net.neighbors(s, net.config().prop.tx_range_m, at);
+  if (nbrs.empty()) throw std::runtime_error("tagged node has no neighbor");
+  NodeId best = nbrs.front();
+  double best_d = 1e300;
+  const geom::Vec2 sp = net.position_of(s, at);
+  for (NodeId n : nbrs) {
+    const double d = (net.position_of(n, at) - sp).norm2();
+    if (d < best_d) {
+      best_d = d;
+      best = n;
+    }
+  }
+  return best;
+}
+
+void accumulate(MonitorStats& into, const MonitorStats& from) {
+  into.rts_observed += from.rts_observed;
+  into.samples += from.samples;
+  into.windows += from.windows;
+  into.flagged_windows += from.flagged_windows;
+  into.seq_off_violations += from.seq_off_violations;
+  into.attempt_violations += from.attempt_violations;
+  into.impossible_backoff += from.impossible_backoff;
+  into.skipped_no_anchor += from.skipped_no_anchor;
+  into.skipped_long_window += from.skipped_long_window;
+  into.skipped_queue_gap += from.skipped_queue_gap;
+}
+
+}  // namespace
+
+CondProbResult run_cond_prob_experiment(const CondProbConfig& config) {
+  net::Network net(config.scenario);
+  const NodeId s = net.center_node();
+  const NodeId r = pick_neighbor(net, s, 0);
+
+  net.add_flow(s, r, config.rate_pps);
+  net.build_random_flows();
+  net.set_flow_rates(config.rate_pps);
+
+  phy::JointBusyTracker tracker(net.radio(s), net.radio(r));
+
+  const SimTime warmup = seconds_to_time(config.warmup_s);
+  const SimTime stop = warmup + seconds_to_time(config.measure_s);
+  net.start_traffic(0, stop);
+  net.run_until(warmup);
+  tracker.reset(warmup);
+  net.run_until(stop);
+  tracker.flush(stop);
+
+  CondProbResult result;
+  result.measured_rho = tracker.r_busy_fraction();
+  result.sim_p_busy_given_idle = tracker.p_s_busy_given_r_idle();
+  result.sim_p_idle_given_busy = tracker.p_s_idle_given_r_busy();
+
+  // Analytical prediction from the monitor-visible state.
+  const geom::RegionModel regions(config.monitor.separation_m,
+                                  config.monitor.sensing_range_m);
+  SystemStateModel model(regions);
+  SystemStateParams p;
+  p.rho = result.measured_rho;
+  p.mapping = config.monitor.mapping;
+  p.k = config.monitor.fixed_k.value_or(5.0);
+  p.n = config.monitor.fixed_n.value_or(5.0);
+  p.m = config.monitor.fixed_m.value_or(5.0);
+  p.j = config.monitor.fixed_j.value_or(5.0);
+  p.contenders = config.monitor.fixed_contenders.value_or(20.0);
+  result.ana_p_busy_given_idle = model.p_busy_given_idle(p);
+  result.ana_p_idle_given_busy = model.p_idle_given_busy(p);
+  return result;
+}
+
+MultiDetectionResult run_multi_detection_experiment(const MultiDetectionConfig& config) {
+  if (config.monitors.empty()) {
+    throw std::invalid_argument("need at least one monitor configuration");
+  }
+
+  net::Network net(config.scenario);
+  const NodeId s = net.center_node();
+  NodeId r = pick_neighbor(net, s, 0);
+
+  net::TrafficSource& tagged_flow = net.add_flow(s, r, config.rate_pps);
+  net.build_random_flows();
+  net.set_flow_rates(config.rate_pps);
+  if (config.pm > 0.0) {
+    net.mac(s).set_backoff_policy(
+        std::make_unique<mac::PercentMisbehavior>(config.pm));
+  }
+
+  // Monitors are created lazily per monitoring node: one instance per
+  // configuration, all watching S, activated/deactivated together.
+  using MonitorSet = std::vector<std::unique_ptr<Monitor>>;
+  std::unordered_map<NodeId, MonitorSet> monitors;
+  auto set_active = [&](NodeId node, bool active) {
+    auto it = monitors.find(node);
+    if (it == monitors.end()) {
+      MonitorSet set;
+      set.reserve(config.monitors.size());
+      for (const MonitorConfig& mc : config.monitors) {
+        set.push_back(std::make_unique<Monitor>(net.simulator(), net.mac(node),
+                                                net.timeline(node), s, mc));
+      }
+      it = monitors.emplace(node, std::move(set)).first;
+    }
+    for (auto& mon : it->second) mon->set_active(active);
+  };
+
+  MultiDetectionResult result;
+  result.per_config.resize(config.monitors.size());
+  set_active(r, true);
+
+  const SimTime warmup = seconds_to_time(config.warmup_s);
+  const SimTime stop = seconds_to_time(config.scenario.sim_seconds);
+  net.start_traffic(0, stop);
+
+  const NodeId initial_r = r;
+
+  // Long-horizon traffic intensity at the initial monitor: snapshot the
+  // cumulative busy counter at warm-up (windowed timeline queries cannot
+  // span a whole 300 s run because history is pruned).
+  SimDuration busy_at_warmup = 0;
+  net.simulator().at(warmup, [&, initial_r] {
+    busy_at_warmup = net.timeline(initial_r).cumulative_busy(warmup);
+  });
+
+  // Must outlive run_until: the rescheduling lambda captures it by reference.
+  std::function<void()> check;
+  if (config.mobile_handoff) {
+    // Periodic range check: if the monitor fell out of S's transmission
+    // range, hand the role (and S's flow) to the nearest current neighbor.
+    check = [&] {
+      const SimTime now = net.simulator().now();
+      if (now >= stop) return;
+      const double d = (net.position_of(s, now) - net.position_of(r, now)).norm();
+      if (d > net.config().prop.tx_range_m) {
+        const auto nbrs = net.neighbors(s, net.config().prop.tx_range_m, now);
+        if (!nbrs.empty()) {
+          set_active(r, false);
+          r = pick_neighbor(net, s, now);
+          set_active(r, true);
+          tagged_flow.set_destination(r);
+          ++result.handoffs;
+        }
+      }
+      net.simulator().after(config.handoff_period, check);
+    };
+    net.simulator().after(config.handoff_period, check);
+  }
+
+  net.run_until(stop);
+
+  for (const auto& [node, set] : monitors) {
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      DetectionResult& out = result.per_config[i];
+      for (const WindowResult& w : set[i]->windows()) {
+        if (w.at < warmup) continue;
+        ++out.windows;
+        if (w.flagged()) ++out.flagged;
+        if (w.statistical_flag) ++out.flagged_statistical;
+      }
+      accumulate(out.stats, set[i]->stats());
+    }
+  }
+  result.measured_rho =
+      stop > warmup
+          ? static_cast<double>(net.timeline(initial_r).cumulative_busy(stop) -
+                                busy_at_warmup) /
+                static_cast<double>(stop - warmup)
+          : 0.0;
+  for (DetectionResult& out : result.per_config) {
+    out.detection_rate = out.windows ? static_cast<double>(out.flagged) /
+                                           static_cast<double>(out.windows)
+                                     : 0.0;
+    out.statistical_rate =
+        out.windows ? static_cast<double>(out.flagged_statistical) /
+                          static_cast<double>(out.windows)
+                    : 0.0;
+    out.measured_rho = result.measured_rho;
+    out.handoffs = result.handoffs;
+  }
+  return result;
+}
+
+MultiDetectionResult run_multi_detection_trials(MultiDetectionConfig config,
+                                                int runs) {
+  MultiDetectionResult total;
+  total.per_config.resize(config.monitors.size());
+  for (int run = 0; run < runs; ++run) {
+    if (run != 0) ++config.scenario.seed;
+    const MultiDetectionResult r = run_multi_detection_experiment(config);
+    total.handoffs += r.handoffs;
+    total.measured_rho += r.measured_rho;
+    for (std::size_t i = 0; i < r.per_config.size(); ++i) {
+      DetectionResult& out = total.per_config[i];
+      out.windows += r.per_config[i].windows;
+      out.flagged += r.per_config[i].flagged;
+      out.flagged_statistical += r.per_config[i].flagged_statistical;
+      accumulate(out.stats, r.per_config[i].stats);
+    }
+  }
+  if (runs > 0) total.measured_rho /= runs;
+  for (DetectionResult& out : total.per_config) {
+    out.detection_rate = out.windows ? static_cast<double>(out.flagged) /
+                                           static_cast<double>(out.windows)
+                                     : 0.0;
+    out.statistical_rate =
+        out.windows ? static_cast<double>(out.flagged_statistical) /
+                          static_cast<double>(out.windows)
+                    : 0.0;
+    out.measured_rho = total.measured_rho;
+    out.handoffs = total.handoffs;
+  }
+  return total;
+}
+
+DetectionResult run_detection_experiment(const DetectionConfig& config) {
+  MultiDetectionConfig multi;
+  multi.scenario = config.scenario;
+  multi.rate_pps = config.rate_pps;
+  multi.pm = config.pm;
+  multi.monitors = {config.monitor};
+  multi.warmup_s = config.warmup_s;
+  multi.mobile_handoff = config.mobile_handoff;
+  multi.handoff_period = config.handoff_period;
+  return run_multi_detection_experiment(multi).per_config.at(0);
+}
+
+DetectionResult run_detection_trials(DetectionConfig config, int runs) {
+  MultiDetectionConfig multi;
+  multi.scenario = config.scenario;
+  multi.rate_pps = config.rate_pps;
+  multi.pm = config.pm;
+  multi.monitors = {config.monitor};
+  multi.warmup_s = config.warmup_s;
+  multi.mobile_handoff = config.mobile_handoff;
+  multi.handoff_period = config.handoff_period;
+  return run_multi_detection_trials(multi, runs).per_config.at(0);
+}
+
+}  // namespace manet::detect

@@ -1,0 +1,106 @@
+// Experiment harnesses reproducing the paper's evaluation setups.
+//
+// Two shapes:
+//  * Conditional-probability measurement (Figures 3-4): all nodes behave,
+//    and we compare the analytical p(B|I) / p(I|B) from the system-state
+//    model against the ground-truth joint occupancy of the center S-R pair.
+//  * Detection / misdiagnosis runs (Figures 5-6): the center node S (the
+//    tagged node) optionally misbehaves with a given PM; a neighboring
+//    monitor R collects Wilcoxon windows; we report the fraction of
+//    windows that flag S. With mobility the monitoring role (and S's flow)
+//    is handed to a fresh one-hop neighbor whenever the current monitor
+//    drifts out of range, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "detect/monitor.hpp"
+#include "net/network.hpp"
+#include "net/scenario.hpp"
+
+namespace manet::detect {
+
+// --- Conditional probabilities (Figures 3-4) --------------------------------
+
+struct CondProbConfig {
+  net::ScenarioConfig scenario;
+  double rate_pps = 20.0;   // per-flow packet rate
+  double warmup_s = 3.0;
+  double measure_s = 30.0;
+  MonitorConfig monitor;    // geometry + fixed counts + activity mapping
+};
+
+struct CondProbResult {
+  double measured_rho = 0.0;          // R's busy fraction (traffic intensity)
+  double sim_p_busy_given_idle = 0.0;
+  double sim_p_idle_given_busy = 0.0;
+  double ana_p_busy_given_idle = 0.0;
+  double ana_p_idle_given_busy = 0.0;
+};
+
+CondProbResult run_cond_prob_experiment(const CondProbConfig& config);
+
+// --- Detection / misdiagnosis (Figures 5-6) ---------------------------------
+
+struct DetectionConfig {
+  net::ScenarioConfig scenario;
+  double rate_pps = 20.0;
+  /// Percentage of misbehavior of the tagged node (0 = well behaved; used
+  /// for the misdiagnosis experiments).
+  double pm = 0.0;
+  MonitorConfig monitor;
+  double warmup_s = 3.0;
+  /// Hand the monitor role to a new neighbor when the current one leaves
+  /// the tagged node's transmission range (mobile scenarios).
+  bool mobile_handoff = false;
+  SimDuration handoff_period = 500 * kMillisecond;
+};
+
+struct DetectionResult {
+  std::uint64_t windows = 0;
+  std::uint64_t flagged = 0;                // statistical OR deterministic
+  std::uint64_t flagged_statistical = 0;    // Wilcoxon rejections only
+  double detection_rate = 0.0;              // flagged / windows
+  double statistical_rate = 0.0;            // flagged_statistical / windows
+  double measured_rho = 0.0;    // intensity at the (initial) monitor
+  std::uint64_t handoffs = 0;
+  MonitorStats stats;           // aggregated over all monitors
+};
+
+DetectionResult run_detection_experiment(const DetectionConfig& config);
+
+/// Convenience: detection rate aggregated over `seeds` independent runs
+/// (seed = base_seed + i). Returns total windows/flags.
+DetectionResult run_detection_trials(DetectionConfig config, int runs);
+
+// --- Multi-monitor variant ---------------------------------------------------
+//
+// Runs ONE simulation with several Monitor configurations observing the
+// same tagged node side by side (e.g. the four sample sizes of Figure 5).
+// Sharing the run keeps the sweeps affordable and guarantees every
+// configuration saw the identical channel history.
+
+struct MultiDetectionConfig {
+  net::ScenarioConfig scenario;
+  double rate_pps = 20.0;
+  double pm = 0.0;
+  std::vector<MonitorConfig> monitors;   // one entry per configuration
+  double warmup_s = 3.0;
+  bool mobile_handoff = false;
+  SimDuration handoff_period = 500 * kMillisecond;
+};
+
+struct MultiDetectionResult {
+  std::vector<DetectionResult> per_config;  // parallel to config.monitors
+  double measured_rho = 0.0;
+  std::uint64_t handoffs = 0;
+};
+
+MultiDetectionResult run_multi_detection_experiment(const MultiDetectionConfig& config);
+
+/// Aggregates `runs` independent multi-monitor runs (consecutive seeds).
+MultiDetectionResult run_multi_detection_trials(MultiDetectionConfig config, int runs);
+
+}  // namespace manet::detect

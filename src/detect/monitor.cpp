@@ -1,0 +1,349 @@
+#include "detect/monitor.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/stats.hpp"
+
+namespace manet::detect {
+
+Monitor::Monitor(sim::Simulator& simulator, mac::DcfMac& monitor_mac,
+                 phy::CsTimeline& timeline, NodeId tagged,
+                 const MonitorConfig& config)
+    : sim_(simulator),
+      mac_(monitor_mac),
+      timeline_(timeline),
+      tagged_(tagged),
+      config_(config),
+      tagged_prs_(tagged, monitor_mac.params()),
+      model_(geom::RegionModel(config.separation_m, config.sensing_range_m)),
+      arma_(config.arma_alpha),
+      density_(config.density_window, config.tx_range_m) {
+  mac_.add_observer(this);
+  schedule_arma_tick();
+}
+
+void Monitor::set_active(bool active) {
+  if (active == active_) return;
+  active_ = active;
+  if (active_) {
+    // Fresh start: discard the partial window and the stale anchor.
+    xs_.clear();
+    ys_.clear();
+    window_deterministic_flag_ = false;
+    anchor_.reset();
+    own_cts_pending_ = false;
+    last_seq_off_.reset();
+    last_digest_.reset();
+    last_attempt_ = 0;
+  }
+}
+
+double Monitor::flag_rate() const {
+  if (stats_.windows == 0) return 0.0;
+  return static_cast<double>(stats_.flagged_windows) /
+         static_cast<double>(stats_.windows);
+}
+
+void Monitor::schedule_arma_tick() {
+  const SimDuration batch = static_cast<SimDuration>(config_.arma_batch_slots) *
+                            mac_.params().slot_time;
+  sim_.after(batch, [this] {
+    const SimTime now = sim_.now();
+    arma_.add_batch(timeline_.busy_fraction(last_arma_tick_, now));
+    last_arma_tick_ = now;
+    schedule_arma_tick();
+  });
+}
+
+SystemStateParams Monitor::current_state() const {
+  SystemStateParams p;
+  p.rho = arma_.intensity();
+  p.mapping = config_.mapping;
+
+  const double dens = density_.density(sim_.now());
+  const auto& areas = model_.regions().areas();
+  p.k = config_.fixed_k.value_or(dens * areas.a1);
+  p.n = config_.fixed_n.value_or(dens * areas.a2);
+  p.m = config_.fixed_m.value_or(dens * areas.a4);
+  p.j = config_.fixed_j.value_or(dens * areas.a5);
+
+  if (config_.fixed_contenders) {
+    p.contenders = *config_.fixed_contenders;
+  } else {
+    const double sensing_area = std::numbers::pi * config_.sensing_range_m *
+                                config_.sensing_range_m;
+    p.contenders = std::max(1.0, dens * sensing_area);
+  }
+  return p;
+}
+
+void Monitor::on_frame(const mac::Frame& frame, SimTime start, SimTime end) {
+  if (!active_) return;
+
+  if (frame.transmitter != mac_.id()) {
+    density_.heard(frame.transmitter, end);
+  }
+
+  // Decoded air time is busy time the tagged node certainly sensed too
+  // (transmitter within separation + tx range < sensing range of S); its
+  // NAV reservation binds the tagged node unless the frame involved it.
+  const bool involves_tagged = frame.transmitter == tagged_ || frame.receiver == tagged_;
+  decoded_.push_back(DecodedFrame{start, end, end + frame.duration,
+                                  involves_tagged,
+                                  frame.type == mac::FrameType::kRts});
+  const SimTime horizon = end - 4 * kSecond;
+  while (!decoded_.empty() && decoded_.front().nav_until < horizon) {
+    decoded_.pop_front();
+  }
+
+  const bool from_tagged = frame.transmitter == tagged_;
+  const bool to_tagged = frame.receiver == tagged_;
+  if (!from_tagged && !to_tagged) return;
+
+  const auto& params = mac_.params();
+  switch (frame.type) {
+    case mac::FrameType::kRts:
+      if (from_tagged) {
+        handle_tagged_rts(frame, start);
+        // If the exchange dies here (no CTS), S's next back-off starts at
+        // its CTS timeout; later frames of a live exchange override this.
+        note_exchange_end(end + params.response_timeout(params.cts_airtime()));
+      }
+      break;
+    case mac::FrameType::kCts:
+      // The exchange is progressing; DATA/ACK rules will provide the real
+      // end. Track our own CTS to S so a dead exchange is recognized.
+      if (to_tagged && frame.transmitter == mac_.id()) own_cts_pending_ = true;
+      break;
+    case mac::FrameType::kData:
+      if (from_tagged) {
+        // DATA's duration field covers SIFS + ACK: the exchange ends then,
+        // whether or not we can hear the ACK ourselves.
+        own_cts_pending_ = false;
+        note_exchange_end(end + frame.duration);
+      }
+      break;
+    case mac::FrameType::kAck:
+      if (to_tagged) {
+        // Our own (or an overheard) ACK to S: exact exchange end.
+        note_exchange_end(end);
+      }
+      break;
+  }
+}
+
+void Monitor::note_exchange_end(SimTime at) { anchor_ = at; }
+
+std::uint64_t Monitor::unwrap_seq_off(std::uint32_t announced) {
+  const std::uint64_t modulo = mac_.params().seq_off_modulo;
+  if (!last_seq_off_) return announced;
+  const std::uint64_t base = *last_seq_off_;
+  // Choose the smallest value >= base whose residue matches `announced`
+  // (offsets only move forward).
+  const std::uint64_t base_res = base % modulo;
+  std::uint64_t candidate = base - base_res + announced;
+  if (candidate < base) candidate += modulo;
+  return candidate;
+}
+
+void Monitor::handle_tagged_rts(const mac::Frame& rts, SimTime start) {
+  ++stats_.rts_observed;
+  const auto& params = mac_.params();
+
+  bool deterministic_violation = false;
+
+  const std::uint64_t seq = unwrap_seq_off(rts.seq_off);
+  if (config_.deterministic_checks && config_.prs_aware) {
+    // SeqOff continuity: must advance by exactly one per RTS we hear.
+    // (Missed RTSes show up as jumps > 1; only non-advancing offsets are
+    // provable violations.)
+    if (last_seq_off_ && seq <= *last_seq_off_) {
+      ++stats_.seq_off_violations;
+      deterministic_violation = true;
+    }
+    // Attempt/MD honesty: a retransmission of the same payload must
+    // increment the attempt number.
+    if (last_digest_ && rts.data_digest == *last_digest_ &&
+        rts.attempt <= last_attempt_) {
+      ++stats_.attempt_violations;
+      deterministic_violation = true;
+    }
+  }
+
+  // Expected (dictated) back-off for the announced offset and attempt.
+  const double expected = tagged_prs_.dictated_slots(seq, rts.attempt);
+
+  // Bookkeeping for the next RTS (previous values feed the retry check).
+  const std::optional<crypto::Md5Digest> prev_digest = last_digest_;
+  const std::uint32_t prev_attempt = last_attempt_;
+  last_seq_off_ = seq;
+  last_digest_ = rts.data_digest;
+  last_attempt_ = rts.attempt;
+
+  // Ambiguous anchor: we answered S's previous RTS with a CTS but never
+  // saw the DATA — S's back-off start depends on which frame was lost.
+  const bool ambiguous_anchor = own_cts_pending_;
+  own_cts_pending_ = false;
+
+  if (!anchor_ || *anchor_ >= start || ambiguous_anchor) {
+    ++stats_.skipped_no_anchor;
+    if (deterministic_violation) window_deterministic_flag_ = true;
+    return;
+  }
+  const SimTime window_start = *anchor_;
+  const SimDuration window = start - window_start;
+  if (config_.max_window > 0 && window > config_.max_window) {
+    ++stats_.skipped_long_window;
+    if (deterministic_violation) window_deterministic_flag_ = true;
+    return;
+  }
+
+  // Impossible-back-off check: even if S had counted every slot of the
+  // window (minus one DIFS), the dictated value would not have finished.
+  if (config_.deterministic_checks && config_.prs_aware) {
+    const double max_slots =
+        static_cast<double>(window - params.difs) /
+        static_cast<double>(params.slot_time);
+    if (expected > max_slots + 1.0) {
+      ++stats_.impossible_backoff;
+      deterministic_violation = true;
+    }
+  }
+
+  // Translate our own view of the window into S's estimated countdown.
+  // Three-way split of the window:
+  //   * certainly blocked for S — decoded air time plus decoded NAV
+  //     reservations (not from/to S itself): no countdown credit;
+  //   * anonymous (undecodable) energy — S may not hear it: statistical
+  //     p(I|B) credit;
+  //   * free idle — p(I|I) credit, minus one DIFS deferral per period.
+  util::IntervalSet blocked;
+  for (const DecodedFrame& f : decoded_) {
+    if (f.nav_until <= window_start || f.start >= start) continue;
+    blocked.add(f.start, f.end);
+    if (!f.involves_tagged) {
+      SimTime nav_end = f.nav_until;
+      if (f.is_rts) {
+        // Mirror the NAV-reset rule: if nothing followed the RTS within
+        // the reset window, the tagged node's NAV was reset too.
+        const SimTime reset_at = f.end + params.nav_reset_delay();
+        if (timeline_.busy_time(f.end, std::min(reset_at, start)) == 0) {
+          nav_end = std::min(nav_end, reset_at);
+        }
+      }
+      blocked.add(f.end, nav_end);
+    }
+  }
+  blocked = blocked.clamped(window_start, start);
+
+  util::IntervalSet busy;
+  for (const auto& [a, b] : timeline_.busy_intervals(window_start, start)) {
+    busy.add(a, b);
+  }
+
+  const SimDuration uncertain_busy =
+      busy.total_length() - busy.intersection_length(blocked);
+
+  util::IntervalSet occupied = busy;
+  occupied.merge(blocked);
+  SimDuration countable = 0;
+  for (const util::Interval& gap : occupied.complement_within(window_start, start)) {
+    if (gap.length() > params.difs) countable += gap.length() - params.difs;
+  }
+
+  const double idle_slots = static_cast<double>(countable) /
+                            static_cast<double>(params.slot_time);
+  const double busy_slots = static_cast<double>(uncertain_busy) /
+                            static_cast<double>(params.slot_time);
+
+  const SystemStateParams state = current_state();
+  const double idle_weight =
+      config_.apply_idle_correction ? model_.p_idle_given_idle(state) : 1.0;
+  const double observed =
+      idle_weight * idle_slots +
+      config_.busy_credit_factor * model_.p_idle_given_busy(state) * busy_slots;
+
+  // Clean-window acceptance: only windows that plausibly contain no
+  // queue-empty gap are comparable back-off samples (see MonitorConfig).
+  // A retry is *proven* clean only when we decoded the immediately
+  // preceding attempt of the same payload; otherwise the anchor may span a
+  // missed transmission and the window gets the same plausibility test.
+  const bool proven_retry = prev_digest && rts.data_digest == *prev_digest &&
+                            rts.attempt == prev_attempt + 1;
+  bool accepted = true;
+  if (config_.clean_window_filter && !proven_retry) {
+    const double cw = params.cw_for_attempt(rts.attempt);
+    if (observed > cw + config_.queue_gap_slack_slots) accepted = false;
+  }
+
+  if (config_.record_samples) {
+    SampleRecord rec;
+    rec.expected = expected;
+    rec.observed = observed;
+    rec.idle_slots = idle_slots;
+    rec.busy_unc_slots = busy_slots;
+    rec.blocked_slots = static_cast<double>(blocked.total_length()) /
+                        static_cast<double>(params.slot_time);
+    rec.attempt = rts.attempt;
+    rec.accepted = accepted;
+    sample_log_.push_back(rec);
+  }
+
+  if (!accepted) {
+    ++stats_.skipped_queue_gap;
+    if (deterministic_violation) window_deterministic_flag_ = true;
+    return;
+  }
+
+  // Samples are normalized by their contention window so first attempts
+  // (CW 31) and deep retries (CW up to 1023) form one homogeneous
+  // population: under H0 the normalized dictated value is uniform on
+  // [0, 1) regardless of attempt.
+  const double norm = static_cast<double>(params.cw_for_attempt(rts.attempt)) + 1.0;
+  double expected_norm = expected / norm;
+  if (!config_.prs_aware) {
+    // Baseline: no dictated values — compare against evenly spaced uniform
+    // quantiles, the protocol's marginal back-off distribution.
+    const double k = static_cast<double>(stats_.samples % config_.sample_size);
+    expected_norm = (k + 0.5) / static_cast<double>(config_.sample_size);
+  }
+  add_sample(expected_norm, observed / norm, deterministic_violation);
+}
+
+void Monitor::add_sample(double expected, double observed,
+                         bool deterministic_violation) {
+  xs_.push_back(expected);
+  ys_.push_back(observed);
+  ++stats_.samples;
+  if (deterministic_violation) window_deterministic_flag_ = true;
+  if (xs_.size() >= config_.sample_size) close_window();
+}
+
+void Monitor::close_window() {
+  WindowResult result;
+  result.at = sim_.now();
+  result.deterministic_flag = window_deterministic_flag_;
+
+  // Shift the observed sample up by the permissible margin before the
+  // one-sided test: only a deficit beyond the margin counts as evidence.
+  // Samples are CW-normalized, so the margin is a plain fraction of the
+  // contention window.
+  std::vector<double> shifted(ys_);
+  for (double& v : shifted) v += config_.margin_fraction;
+
+  const RankSumResult test =
+      wilcoxon_rank_sum(xs_, shifted, config_.wilcoxon);
+  result.p_less = test.p_less;
+  result.statistical_flag = test.p_less < config_.alpha;
+
+  ++stats_.windows;
+  if (result.flagged()) ++stats_.flagged_windows;
+  windows_.push_back(result);
+
+  xs_.clear();
+  ys_.clear();
+  window_deterministic_flag_ = false;
+}
+
+}  // namespace manet::detect

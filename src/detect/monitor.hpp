@@ -1,0 +1,260 @@
+// Per-neighbor misbehavior monitor — the paper's framework (Section 4).
+//
+// A Monitor lives on node R and watches one tagged neighbor S. It combines:
+//
+//  DETERMINISTIC checks (immediate flags):
+//   * SeqOff continuity — each RTS must announce the previous offset + 1
+//     (mod 2^13); replaying or skipping offsets is a blatant violation.
+//   * Attempt/MD honesty — a retransmission (same MD5 digest) must carry a
+//     larger attempt number.
+//   * Impossible back-off — if the dictated back-off could not have been
+//     counted down even if every slot in the observation window had been
+//     idle for S, the timer was violated outright.
+//
+//  STATISTICAL inference (for windows where R's channel view may differ
+//  from S's):
+//   * R tracks its traffic intensity with the ARMA filter (Eq. 6) and its
+//     neighborhood density, feeds them into the system-state model
+//     (Eqs. 1-5) to translate its own idle/busy observation of each
+//     back-off window into the sender's estimated countdown y.
+//   * The dictated value x comes from S's announced PRS offset.
+//   * After `sample_size` (x, y) pairs, a one-sided Wilcoxon rank-sum test
+//     asks whether y is stochastically smaller than x by more than the
+//     permissible margin; p < alpha rejects H0 ("S is well behaved").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "detect/arma.hpp"
+#include "detect/density.hpp"
+#include "detect/system_state.hpp"
+#include "detect/wilcoxon.hpp"
+#include "geom/region_model.hpp"
+#include "mac/dcf.hpp"
+#include "phy/cs_timeline.hpp"
+#include "sim/simulator.hpp"
+#include "util/intervals.hpp"
+#include "util/types.hpp"
+
+namespace manet::detect {
+
+struct MonitorConfig {
+  std::size_t sample_size = 10;    // Wilcoxon window (paper: 10/25/50/100)
+  double alpha = 0.01;             // significance level for rejecting H0
+  /// Permissible deficit between expected and observed back-off ("the
+  /// extent of the difference that is permissible", Section 4), expressed
+  /// as a fraction of the contention window: samples are CW-normalized and
+  /// the observed sample is shifted up by this amount before the one-sided
+  /// test, so only deficits beyond the margin count as evidence.
+  double margin_fraction = 0.10;
+  WilcoxonOptions wilcoxon;
+
+  double arma_alpha = 0.995;       // Eq. 6 smoothing constant
+  std::size_t arma_batch_slots = 100;  // s: slots per ARMA batch
+
+  /// Assumed S-R separation for the region geometry (the grid spacing in
+  /// the paper's experiments; monitors do not know exact positions).
+  double separation_m = 240.0;
+  double sensing_range_m = 550.0;
+  double tx_range_m = 250.0;
+
+  ActivityMapping mapping = ActivityMapping::kPerSlot;
+
+  /// Scale on the p(I|B) countdown credit given to anonymous (undecodable)
+  /// busy time. For a one-hop monitor nearly all energy it senses is also
+  /// sensed by the tagged node (separation + decode range < sensing range),
+  /// so the literal Eq. 1 credit overestimates; see bench/ablation_estimator
+  /// for the sweep behind the default.
+  double busy_credit_factor = 1.0;
+
+  /// Apply the p(I|I) discount of Eq. 1 to the window's free idle time.
+  /// The clean-window filter already rejects windows where the tagged
+  /// node's view diverged (hidden freezes blow the estimate past CW), so
+  /// the accepted windows are consistent-view by construction and the
+  /// marginal discount would double-count — creating a systematic deficit
+  /// that turns into false alarms at large sample sizes. Enable to
+  /// evaluate Eq. 1 verbatim (bench/ablation_estimator).
+  bool apply_idle_correction = false;
+
+  /// Fixed region node counts (k, n, m, j). The paper's grid experiments
+  /// set n = k = 5 deterministically; when unset, counts come from the
+  /// online density estimator.
+  std::optional<double> fixed_n, fixed_k, fixed_m, fixed_j;
+  /// Fixed contender count M for the activity mapping; when unset, the
+  /// density estimator supplies it.
+  std::optional<double> fixed_contenders;
+
+  SimDuration density_window = 5 * kSecond;
+
+  /// Ignore observation windows longer than this (the tagged node's queue
+  /// was almost surely empty part of the time, so the window does not
+  /// measure a back-off). 0 disables the cap.
+  SimDuration max_window = 2 * kSecond;
+
+  /// Clean-window acceptance. The monitor cannot see when a packet arrived
+  /// in the tagged node's queue; a window that spans queue-empty time
+  /// measures idle time, not back-off. Two window classes are provably (or
+  /// plausibly) gap-free and become statistical samples:
+  ///   * retransmissions (Attempt# > 1): the node was certainly backlogged,
+  ///     and the window is anchored exactly at its response timeout;
+  ///   * first attempts whose estimated countdown does not exceed the
+  ///     contention window plus `queue_gap_slack_slots`: an honest
+  ///     backlogged node can never legitimately exceed CW, so anything
+  ///     within CW + slack is gap-free up to estimator noise.
+  /// Rejected windows are counted, not tested (they still feed the
+  /// deterministic checks). Disable to reproduce the naive estimator
+  /// (bench/ablation_estimator shows why that fails).
+  bool clean_window_filter = true;
+  double queue_gap_slack_slots = 8.0;
+
+  bool deterministic_checks = true;
+
+  /// Baseline mode: pretend the paper's modification does not exist. The
+  /// monitor then knows only the protocol's back-off *distribution*
+  /// (uniform over [0, CW]), not the dictated values: the expected sample
+  /// becomes uniform quantiles, and every deterministic check (SeqOff,
+  /// Attempt/MD, impossible back-off) is unavailable. Used by
+  /// bench/ablation_prs_value to quantify what the verifiable PRS buys.
+  bool prs_aware = true;
+
+  /// Record every (expected, observed) pair for offline diagnostics
+  /// (estimator-bias ablations). Off by default to keep memory flat.
+  bool record_samples = false;
+};
+
+/// Outcome of one completed Wilcoxon window.
+struct WindowResult {
+  SimTime at = 0;
+  double p_less = 1.0;
+  bool statistical_flag = false;
+  bool deterministic_flag = false;
+  bool flagged() const { return statistical_flag || deterministic_flag; }
+};
+
+struct MonitorStats {
+  std::uint64_t rts_observed = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t flagged_windows = 0;
+  std::uint64_t seq_off_violations = 0;
+  std::uint64_t attempt_violations = 0;
+  std::uint64_t impossible_backoff = 0;
+  std::uint64_t skipped_no_anchor = 0;   // no usable window start
+  std::uint64_t skipped_long_window = 0; // window exceeded max_window
+  std::uint64_t skipped_queue_gap = 0;   // window failed the clean filter
+};
+
+class Monitor : public mac::MacObserver {
+ public:
+  /// Attaches to `monitor_mac`'s observer hook. `timeline` must be the
+  /// carrier-sense timeline of the same node. `tagged` is S.
+  Monitor(sim::Simulator& simulator, mac::DcfMac& monitor_mac,
+          phy::CsTimeline& timeline, NodeId tagged, const MonitorConfig& config);
+
+  NodeId tagged() const { return tagged_; }
+  NodeId self() const { return mac_.id(); }
+
+  /// Suspend/resume observation. Reactivation clears the partially filled
+  /// window and the exchange anchor (used when mobility hands the
+  /// monitoring role to another neighbor).
+  void set_active(bool active);
+  bool active() const { return active_; }
+
+  const MonitorStats& stats() const { return stats_; }
+  const std::vector<WindowResult>& windows() const { return windows_; }
+
+  /// One recorded sample with its window decomposition (diagnostics).
+  struct SampleRecord {
+    double expected = 0;     // x: dictated back-off (slots)
+    double observed = 0;     // y: estimated countdown (slots)
+    double idle_slots = 0;   // free idle in the window (DIFS-corrected)
+    double busy_unc_slots = 0;  // anonymous-energy busy
+    double blocked_slots = 0;   // decoded air + NAV (certainly frozen)
+    std::uint32_t attempt = 1;
+    bool accepted = true;       // passed the clean-window filter
+  };
+
+  /// All samples (only when config.record_samples).
+  const std::vector<SampleRecord>& sample_log() const { return sample_log_; }
+
+  /// Fraction of completed windows that flagged S.
+  double flag_rate() const;
+
+  /// Current smoothed traffic intensity (Eq. 6).
+  double traffic_intensity() const { return arma_.intensity(); }
+
+  /// Current system-state inputs the statistical path would use.
+  SystemStateParams current_state() const;
+
+  // mac::MacObserver:
+  void on_frame(const mac::Frame& frame, SimTime start, SimTime end) override;
+
+ private:
+  void handle_tagged_rts(const mac::Frame& rts, SimTime start);
+  void note_exchange_end(SimTime at);
+  void add_sample(double expected, double observed, bool deterministic_violation);
+  void close_window();
+  void schedule_arma_tick();
+  /// Unwraps the 13-bit announced offset against the last seen offset.
+  std::uint64_t unwrap_seq_off(std::uint32_t announced);
+
+  sim::Simulator& sim_;
+  mac::DcfMac& mac_;
+  phy::CsTimeline& timeline_;
+  NodeId tagged_;
+  MonitorConfig config_;
+
+  mac::VerifiableBackoff tagged_prs_;
+  SystemStateModel model_;
+  ArmaIntensityFilter arma_;
+  HeardTransmitterDensity density_;
+
+  bool active_ = true;
+
+  // Frames this monitor decoded (including its own), newest at the back.
+  // A decoded frame's transmitter lies within the monitor's transmission
+  // range, hence within separation + tx_range < sensing range of the
+  // tagged node: the tagged node certainly sensed its air time — and, for
+  // frames not involving the tagged node, certainly honored its NAV
+  // reservation — so neither period can carry countdown. Only anonymous
+  // (undecodable) energy is ambiguous and receives the statistical p(I|B)
+  // credit.
+  struct DecodedFrame {
+    SimTime start = 0;
+    SimTime end = 0;
+    SimTime nav_until = 0;
+    bool involves_tagged = false;
+    bool is_rts = false;  // RTS reservations are subject to the NAV-reset rule
+  };
+  std::deque<DecodedFrame> decoded_;
+
+  // Exchange tracking for the tagged node.
+  std::optional<SimTime> anchor_;        // when S's current back-off could have started
+  /// We answered S's RTS with a CTS but have not seen the DATA yet. If the
+  /// next thing we hear from S is another RTS, we cannot tell whether S
+  /// missed our CTS (back-off began at its CTS timeout) or its DATA died
+  /// (back-off began at its ACK timeout): the anchor is ambiguous and the
+  /// sample is skipped.
+  bool own_cts_pending_ = false;
+  std::optional<std::uint64_t> last_seq_off_;  // unwrapped
+  std::optional<crypto::Md5Digest> last_digest_;
+  std::uint32_t last_attempt_ = 0;
+
+  // Current accumulating window.
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  bool window_deterministic_flag_ = false;
+
+  // ARMA sampling.
+  SimTime last_arma_tick_ = 0;
+
+  MonitorStats stats_;
+  std::vector<WindowResult> windows_;
+  std::vector<SampleRecord> sample_log_;
+};
+
+}  // namespace manet::detect

@@ -1,0 +1,52 @@
+#include "detect/report.hpp"
+
+#include <cstdio>
+
+namespace manet::detect {
+
+namespace {
+std::string verdict_word(const Monitor& monitor) {
+  if (monitor.stats().windows == 0) return "INSUFFICIENT DATA";
+  return monitor.flag_rate() > 0.5 ? "MISBEHAVING" : "well behaved";
+}
+}  // namespace
+
+std::string render_verdict(const Monitor& monitor) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "node %u: %s (flag rate %.2f over %llu windows)",
+                monitor.tagged(), verdict_word(monitor).c_str(),
+                monitor.flag_rate(),
+                static_cast<unsigned long long>(monitor.stats().windows));
+  return buf;
+}
+
+std::string render_report(const Monitor& monitor) {
+  const MonitorStats& st = monitor.stats();
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "monitor %u watching node %u\n"
+      "  observations : %llu RTS, %llu samples accepted "
+      "(%llu gap-filtered, %llu unanchored, %llu over-long)\n"
+      "  deterministic: %llu impossible back-off, %llu SeqOff violations, "
+      "%llu Attempt/MD violations\n"
+      "  statistical  : %llu windows, %llu flagged (rate %.3f)\n"
+      "  system state : traffic intensity %.3f\n"
+      "  verdict      : %s\n",
+      monitor.self(), monitor.tagged(),
+      static_cast<unsigned long long>(st.rts_observed),
+      static_cast<unsigned long long>(st.samples),
+      static_cast<unsigned long long>(st.skipped_queue_gap),
+      static_cast<unsigned long long>(st.skipped_no_anchor),
+      static_cast<unsigned long long>(st.skipped_long_window),
+      static_cast<unsigned long long>(st.impossible_backoff),
+      static_cast<unsigned long long>(st.seq_off_violations),
+      static_cast<unsigned long long>(st.attempt_violations),
+      static_cast<unsigned long long>(st.windows),
+      static_cast<unsigned long long>(st.flagged_windows), monitor.flag_rate(),
+      monitor.traffic_intensity(), verdict_word(monitor).c_str());
+  return buf;
+}
+
+}  // namespace manet::detect

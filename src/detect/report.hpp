@@ -1,0 +1,20 @@
+// Human-readable rendering of a monitor's verdict — the library's
+// "explain yourself" surface, used by the examples and handy in a REPL
+// or debugger.
+#pragma once
+
+#include <string>
+
+#include "detect/monitor.hpp"
+
+namespace manet::detect {
+
+/// Multi-line summary: identity, observation counts, per-check violation
+/// tallies, window statistics, and the overall verdict at `alpha`-style
+/// majority reading (flag rate > 0.5 reads as "misbehaving").
+std::string render_report(const Monitor& monitor);
+
+/// One-line verdict: "node 7: MISBEHAVING (flag rate 0.98 over 56 windows)".
+std::string render_verdict(const Monitor& monitor);
+
+}  // namespace manet::detect

@@ -1,0 +1,41 @@
+#include "detect/system_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace manet::detect {
+
+double SystemStateModel::activity(const SystemStateParams& p) const {
+  const double rho = std::clamp(p.rho, 0.0, 1.0);
+  switch (p.mapping) {
+    case ActivityMapping::kIdentity:
+      return rho;
+    case ActivityMapping::kPerSlot: {
+      const double m = std::max(p.contenders, 1.0);
+      return 1.0 - std::pow(1.0 - rho, 1.0 / m);
+    }
+  }
+  return rho;
+}
+
+double SystemStateModel::p_busy_given_idle(const SystemStateParams& p) const {
+  // Eq. 3: [A2 / (A1 + A2)] * (1 - (1 - tau)^(n + k)).
+  const double tau = activity(p);
+  const double some_tx = 1.0 - std::pow(1.0 - tau, p.n + p.k);
+  return regions_.p_tx_in_a2() * some_tx;
+}
+
+double SystemStateModel::p_idle_given_busy(const SystemStateParams& p) const {
+  // Eq. 4: [A5 / (A4 + A5)] *
+  //        { [A1 / (A1 + A2)] * (1 - (1 - tau)^(n + k)) + (1 - tau)^(n + k) }.
+  const double tau = activity(p);
+  const double none_tx = std::pow(1.0 - tau, p.n + p.k);
+  const double s_idle_factor =
+      regions_.p_tx_in_a1() * (1.0 - none_tx) + none_tx;
+  const double tx_in_a5 = p.include_a3_in_conditioning
+                              ? regions_.p_tx_in_a5_incl_a3()
+                              : regions_.p_tx_in_a5();
+  return tx_in_a5 * s_idle_factor;
+}
+
+}  // namespace manet::detect

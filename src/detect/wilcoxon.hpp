@@ -1,0 +1,43 @@
+// Wilcoxon rank-sum (Mann-Whitney) test — the paper's hypothesis test for
+// comparing the dictated back-off population x against the observed
+// (estimated) population y without distributional assumptions.
+//
+// Two evaluation paths:
+//  * Exact: the permutation null distribution of the rank sum, computed by
+//    dynamic programming over the observed midranks (handles ties). Used
+//    when the combined sample is small — where the normal approximation is
+//    weakest and where the paper's table lookups operate.
+//  * Normal approximation with tie correction and continuity correction,
+//    for larger samples.
+//
+// p_less is the probability, under H0 "x and y come from identical
+// populations", of a y rank sum at most as large as observed — small
+// p_less means y is stochastically smaller than x (the misbehavior
+// signature: shorter back-offs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace manet::detect {
+
+struct RankSumResult {
+  double w_y = 0.0;        // rank sum of the y sample (midranks)
+  double p_less = 1.0;     // P(W <= w_y | H0)  — y smaller
+  double p_greater = 1.0;  // P(W >= w_y | H0)  — y larger
+  double p_two_sided = 1.0;
+  double z = 0.0;          // standardized statistic (approx path; 0 if exact)
+  bool exact = false;
+};
+
+struct WilcoxonOptions {
+  /// Use the exact permutation distribution when nx + ny <= this bound.
+  /// 40 keeps the DP in the tens of microseconds.
+  std::size_t exact_max_total = 40;
+};
+
+/// Requires nx >= 1 and ny >= 1.
+RankSumResult wilcoxon_rank_sum(std::span<const double> x, std::span<const double> y,
+                                const WilcoxonOptions& options = {});
+
+}  // namespace manet::detect

@@ -1,0 +1,32 @@
+#include "geom/circle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace manet::geom {
+
+double Circle::area() const { return std::numbers::pi * radius * radius; }
+
+double lens_area(double r1, double r2, double d) {
+  if (r1 <= 0.0 || r2 <= 0.0) return 0.0;
+  if (d >= r1 + r2) return 0.0;  // disjoint
+  const double rmin = std::min(r1, r2);
+  const double rmax = std::max(r1, r2);
+  if (d <= rmax - rmin) {
+    // Smaller circle fully inside the larger.
+    return std::numbers::pi * rmin * rmin;
+  }
+  // Standard two-circle lens formula.
+  const double d2 = d * d;
+  const double a1 = r1 * r1 * std::acos(std::clamp((d2 + r1 * r1 - r2 * r2) / (2 * d * r1), -1.0, 1.0));
+  const double a2 = r2 * r2 * std::acos(std::clamp((d2 + r2 * r2 - r1 * r1) / (2 * d * r2), -1.0, 1.0));
+  const double t = (-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2);
+  return a1 + a2 - 0.5 * std::sqrt(std::max(t, 0.0));
+}
+
+double crescent_area(const Circle& c1, const Circle& c2) {
+  return c1.area() - lens_area(c1.radius, c2.radius, distance(c1.center, c2.center));
+}
+
+}  // namespace manet::geom

@@ -1,0 +1,29 @@
+// Circle geometry: containment and intersection (lens) areas.
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace manet::geom {
+
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  bool contains(Vec2 p) const {
+    return (p - center).norm2() <= radius * radius;
+  }
+  double area() const;
+};
+
+/// Area of the intersection ("lens") of two circles with radii r1 and r2
+/// whose centers are `d` apart. Exact closed form; handles containment and
+/// disjoint cases.
+double lens_area(double r1, double r2, double d);
+
+/// Convenience for equal radii.
+inline double lens_area(double r, double d) { return lens_area(r, r, d); }
+
+/// Area of circle c1 minus its overlap with c2 (the "crescent" of c1).
+double crescent_area(const Circle& c1, const Circle& c2);
+
+}  // namespace manet::geom

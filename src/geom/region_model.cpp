@@ -1,0 +1,45 @@
+#include "geom/region_model.hpp"
+
+#include <stdexcept>
+
+#include "geom/circle.hpp"
+
+namespace manet::geom {
+
+RegionModel::RegionModel(double separation, double sensing_range)
+    : separation_(separation), sensing_range_(sensing_range) {
+  if (separation <= 0.0) throw std::invalid_argument("separation must be > 0");
+  if (sensing_range <= 0.0) throw std::invalid_argument("sensing_range must be > 0");
+  if (separation >= 2 * sensing_range) {
+    throw std::invalid_argument("S and R must be within each other's sensing footprint");
+  }
+
+  const Circle s{{0.0, 0.0}, sensing_range};
+  const Circle r{{separation, 0.0}, sensing_range};
+  const Circle t{{-separation, 0.0}, sensing_range};  // virtual node left of S
+
+  const double lens_sr = lens_area(sensing_range, separation);
+  areas_.a2 = s.area() - lens_sr;       // S-only crescent
+  areas_.a5 = r.area() - lens_sr;       // R-only crescent
+  areas_.a3 = lens_sr / 2.0;            // left half of the lens
+  areas_.a4 = lens_sr / 2.0;            // right half of the lens
+  areas_.a1 = crescent_area(t, s);      // contends with A2, invisible to S
+}
+
+double RegionModel::p_tx_in_a2() const {
+  return areas_.a2 / (areas_.a1 + areas_.a2);
+}
+
+double RegionModel::p_tx_in_a1() const {
+  return areas_.a1 / (areas_.a1 + areas_.a2);
+}
+
+double RegionModel::p_tx_in_a5() const {
+  return areas_.a5 / (areas_.a4 + areas_.a5);
+}
+
+double RegionModel::p_tx_in_a5_incl_a3() const {
+  return areas_.a5 / (areas_.a3 + areas_.a4 + areas_.a5);
+}
+
+}  // namespace manet::geom

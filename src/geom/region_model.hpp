@@ -1,0 +1,73 @@
+// The paper's Figure-1 region model.
+//
+// Sender S and monitor R sit `separation` meters apart; both carrier-sense
+// out to `sensing_range` meters. The paper partitions the local plane into
+// five areas A1..A5 used by Equations 3-5:
+//
+//   A2 = S's sensing disk minus R's      (heard by S only)
+//   A5 = R's sensing disk minus S's      (heard by R only)
+//   A3 = A4 = half the S∩R lens          (heard by both)
+//   A1 = the crescent of a disk centered one separation to the *left* of S
+//        minus S's disk — the region whose nodes contend with A2's nodes
+//        (freeze them) while remaining invisible to S itself.
+//
+// These are the closed-form analogues of the slice construction in the
+// paper's Figure 1 (nodes U, T, S, R, V one grid-spacing apart).
+#pragma once
+
+#include <cstddef>
+
+namespace manet::geom {
+
+struct RegionAreas {
+  double a1 = 0.0;
+  double a2 = 0.0;
+  double a3 = 0.0;
+  double a4 = 0.0;
+  double a5 = 0.0;
+
+  double total() const { return a1 + a2 + a3 + a4 + a5; }
+};
+
+class RegionModel {
+ public:
+  /// separation: S-R distance in meters; sensing_range: CS radius (550 m in
+  /// the paper). Requires 0 < separation < 2*sensing_range.
+  RegionModel(double separation, double sensing_range);
+
+  const RegionAreas& areas() const { return areas_; }
+  double separation() const { return separation_; }
+  double sensing_range() const { return sensing_range_; }
+
+  /// A2 / (A1 + A2): probability the single transmitter heard by S-but-not-R
+  /// lies in A2 given that it lies in A1 ∪ A2 (paper Eq. 3 first factor).
+  double p_tx_in_a2() const;
+
+  /// A1 / (A1 + A2): complementary factor used in Eq. 4.
+  double p_tx_in_a1() const;
+
+  /// A5 / (A4 + A5): probability the transmitter heard by R lies in the
+  /// R-only crescent given it lies in A4 ∪ A5 (paper Eq. 4 first factor,
+  /// which assumes no node in A3 transmits).
+  double p_tx_in_a5() const;
+
+  /// A5 / (A3 + A4 + A5): the same factor without the paper's "no A3
+  /// transmission" assumption — any node audible to R could be the
+  /// transmitter. Empirically much closer to the simulated p(I|B) (see
+  /// bench/ablation_estimator), so the monitor defaults to this variant.
+  double p_tx_in_a5_incl_a3() const;
+
+  /// Expected node counts for a spatially uniform density (nodes / m^2):
+  /// k in A1, n in A2, m in A4, j in A5 — the paper's symbols.
+  double expected_k(double density) const { return density * areas_.a1; }
+  double expected_n(double density) const { return density * areas_.a2; }
+  double expected_m(double density) const { return density * areas_.a4; }
+  double expected_j(double density) const { return density * areas_.a5; }
+
+ private:
+  double separation_;
+  double sensing_range_;
+  RegionAreas areas_;
+};
+
+}  // namespace manet::geom

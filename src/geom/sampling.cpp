@@ -1,0 +1,19 @@
+#include "geom/sampling.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace manet::geom {
+
+Vec2 sample_rect(util::Xoshiro256ss& rng, double x0, double y0, double x1, double y1) {
+  return {rng.uniform(x0, x1), rng.uniform(y0, y1)};
+}
+
+Vec2 sample_circle(util::Xoshiro256ss& rng, const Circle& c) {
+  // Inverse-CDF in radius, uniform in angle.
+  const double r = c.radius * std::sqrt(rng.uniform());
+  const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  return c.center + Vec2{r * std::cos(theta), r * std::sin(theta)};
+}
+
+}  // namespace manet::geom

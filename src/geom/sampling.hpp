@@ -1,0 +1,29 @@
+// Uniform sampling of points in simple shapes (for Monte-Carlo validation
+// of the closed-form areas and for random topologies).
+#pragma once
+
+#include "geom/circle.hpp"
+#include "geom/vec2.hpp"
+#include "util/rng.hpp"
+
+namespace manet::geom {
+
+/// Uniform point in the axis-aligned rectangle [x0,x1) x [y0,y1).
+Vec2 sample_rect(util::Xoshiro256ss& rng, double x0, double y0, double x1, double y1);
+
+/// Uniform point inside the circle.
+Vec2 sample_circle(util::Xoshiro256ss& rng, const Circle& c);
+
+/// Monte-Carlo estimate of the area of {p in bounding rect : pred(p)}.
+template <typename Pred>
+double monte_carlo_area(util::Xoshiro256ss& rng, double x0, double y0, double x1,
+                        double y1, std::size_t samples, Pred pred) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    if (pred(sample_rect(rng, x0, y0, x1, y1))) ++hits;
+  }
+  return (x1 - x0) * (y1 - y0) * static_cast<double>(hits) /
+         static_cast<double>(samples);
+}
+
+}  // namespace manet::geom

@@ -1,0 +1,3 @@
+// Intentionally empty: VerifiableBackoff and the policies are header-only,
+// but the translation unit anchors the library and catches ODR issues.
+#include "mac/backoff.hpp"

@@ -1,0 +1,178 @@
+// Verifiable back-off sequences and back-off behavior policies.
+//
+// VerifiableBackoff is the paper's dictated pseudo-random sequence (PRS):
+// seeded by the owner's MAC address, publicly recomputable by any neighbor.
+// The dictated value for sequence index i at (1-based) attempt a is
+//   prs(i) mod (CW(a) + 1),
+// i.e. uniform over [0, CW(a)] with the protocol's exponential CW growth.
+//
+// BackoffPolicy is the seam where misbehavior is injected: it maps the
+// dictated value to the value the node actually counts down. Honest nodes
+// use the identity; the paper's "Percentage of Misbehavior" (PM) attacker
+// counts down only (100-m)% of the dictated value.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mac/params.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace manet::mac {
+
+class VerifiableBackoff {
+ public:
+  /// `mac_address` is the seed — the paper requires nodes to seed their
+  /// PRNG with their MAC address so the sequence is publicly known.
+  VerifiableBackoff(NodeId mac_address, const DcfParams& params)
+      : prs_(mac_address), params_(&params) {}
+
+  /// Dictated back-off (in slots) for sequence index `seq_index` at
+  /// 1-based `attempt`. Pure function: monitors call this too. The PRS
+  /// domain is the 13-bit SeqOff# ring, so sender-side counters and the
+  /// wire offset always agree, no matter when a monitor starts listening.
+  std::uint32_t dictated_slots(std::uint64_t seq_index, std::uint32_t attempt) const {
+    const std::uint32_t cw = params_->cw_for_attempt(attempt);
+    return prs_.uniform_at(seq_index % params_->seq_off_modulo, cw + 1);
+  }
+
+  /// Raw 64-bit PRS value (used by misbehavior policies that re-reduce it).
+  std::uint64_t raw_value(std::uint64_t seq_index) const {
+    return prs_.value_at(seq_index % params_->seq_off_modulo);
+  }
+
+ private:
+  util::CounterRng prs_;
+  const DcfParams* params_;
+};
+
+struct BackoffContext {
+  std::uint32_t dictated_slots = 0;
+  std::uint64_t raw_prs_value = 0;
+  std::uint32_t attempt = 1;      // 1-based
+  std::uint32_t cw = 31;          // contention window for this attempt
+  std::uint64_t seq_index = 0;
+};
+
+class BackoffPolicy {
+ public:
+  virtual ~BackoffPolicy() = default;
+  /// Slots the node will actually count down.
+  virtual std::uint32_t used_slots(const BackoffContext& ctx) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Protocol-compliant behavior.
+class HonestBackoff : public BackoffPolicy {
+ public:
+  std::uint32_t used_slots(const BackoffContext& ctx) override {
+    return ctx.dictated_slots;
+  }
+  std::string name() const override { return "honest"; }
+};
+
+/// The paper's PM attacker: counts down to (100-m)% of the dictated value.
+class PercentMisbehavior : public BackoffPolicy {
+ public:
+  /// `percent` in [0, 100]; 0 behaves honestly, 100 never backs off.
+  explicit PercentMisbehavior(double percent) : percent_(percent) {}
+
+  std::uint32_t used_slots(const BackoffContext& ctx) override {
+    const double scaled =
+        static_cast<double>(ctx.dictated_slots) * (100.0 - percent_) / 100.0;
+    return static_cast<std::uint32_t>(scaled + 0.5);
+  }
+  std::string name() const override {
+    return "pm_" + std::to_string(percent_);
+  }
+  double percent() const { return percent_; }
+
+ private:
+  double percent_;
+};
+
+/// Always uses a fixed small back-off, ignoring the PRS entirely.
+class ConstantBackoff : public BackoffPolicy {
+ public:
+  explicit ConstantBackoff(std::uint32_t slots) : slots_(slots) {}
+  std::uint32_t used_slots(const BackoffContext&) override { return slots_; }
+  std::string name() const override { return "constant_" + std::to_string(slots_); }
+
+ private:
+  std::uint32_t slots_;
+};
+
+/// Follows the PRS but never doubles the contention window on retries —
+/// the "different retransmission strategy" misbehavior of Section 1.
+class NoExponentialBackoff : public BackoffPolicy {
+ public:
+  explicit NoExponentialBackoff(std::uint32_t cw_min) : cw_min_(cw_min) {}
+  std::uint32_t used_slots(const BackoffContext& ctx) override {
+    return static_cast<std::uint32_t>(ctx.raw_prs_value % (cw_min_ + 1));
+  }
+  std::string name() const override { return "no_exp_backoff"; }
+
+ private:
+  std::uint32_t cw_min_;
+};
+
+// --- Announcement (field) policies -----------------------------------------
+//
+// Orthogonal cheating axis: what the node *announces* in its RTS. Honest
+// nodes announce the true sequence offset and attempt number; cheaters can
+// freeze the attempt number to dodge CW doubling (caught by the MD check)
+// or replay a sequence offset (caught by the continuity check).
+
+struct AnnounceContext {
+  std::uint64_t seq_index = 0;   // true PRS index being consumed
+  std::uint32_t attempt = 1;     // true 1-based attempt
+};
+
+struct AnnouncedFields {
+  std::uint64_t seq_off = 0;
+  std::uint32_t attempt = 1;
+};
+
+class AnnouncePolicy {
+ public:
+  virtual ~AnnouncePolicy() = default;
+  virtual AnnouncedFields announced(const AnnounceContext& ctx) = 0;
+  virtual std::string name() const = 0;
+};
+
+class HonestAnnounce : public AnnouncePolicy {
+ public:
+  AnnouncedFields announced(const AnnounceContext& ctx) override {
+    return {ctx.seq_index, ctx.attempt};
+  }
+  std::string name() const override { return "honest"; }
+};
+
+/// Always announces attempt #1 (to be dictated the small CWmin window on
+/// retries). Detected via the MD5/attempt retransmission check.
+class StuckAttemptAnnounce : public AnnouncePolicy {
+ public:
+  AnnouncedFields announced(const AnnounceContext& ctx) override {
+    return {ctx.seq_index, 1};
+  }
+  std::string name() const override { return "stuck_attempt"; }
+};
+
+/// Replays the same sequence offset forever (e.g. one known small value).
+/// Detected via the SeqOff continuity check.
+class FrozenSeqOffAnnounce : public AnnouncePolicy {
+ public:
+  explicit FrozenSeqOffAnnounce(std::uint64_t frozen) : frozen_(frozen) {}
+  AnnouncedFields announced(const AnnounceContext& ctx) override {
+    return {frozen_, ctx.attempt};
+  }
+  std::string name() const override { return "frozen_seq_off"; }
+
+ private:
+  std::uint64_t frozen_;
+};
+
+}  // namespace manet::mac

@@ -1,0 +1,83 @@
+// IEEE 802.11 (DSSS PHY) timing and protocol constants, as used by ns-2's
+// 802.11 model and the paper's Table 1.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace manet::mac {
+
+struct DcfParams {
+  SimDuration slot_time = 20 * kMicrosecond;   // aSlotTime (paper: 20 us)
+  SimDuration sifs = 10 * kMicrosecond;        // aSIFSTime
+  SimDuration difs = 50 * kMicrosecond;        // SIFS + 2 slots
+
+  std::uint32_t cw_min = 31;                   // initial contention window
+  std::uint32_t cw_max = 1023;                 // cap after doublings
+
+  /// Maximum transmission attempts per packet (RTS retries; attempt is
+  /// 1-based, so 7 means up to 6 retransmissions).
+  std::uint32_t retry_limit = 7;
+
+  double basic_rate_bps = 1e6;   // control frames (RTS/CTS/ACK)
+  double data_rate_bps = 2e6;    // DATA frames
+  SimDuration plcp_overhead = 192 * kMicrosecond;  // preamble + PLCP header
+
+  std::uint32_t rts_bytes = 38;   // paper Fig. 2: 2+2+6+6+2+16+4
+  std::uint32_t cts_bytes = 14;
+  std::uint32_t ack_bytes = 14;
+  std::uint32_t data_header_bytes = 28;
+
+  std::uint32_t queue_capacity = 50;           // Table 1: queue length 50
+
+  /// Defer EIFS after a corrupted reception (802.11 9.2.3.4). Off by
+  /// default: the paper's monitoring model (like its analysis) has no EIFS
+  /// concept, and a tagged node's EIFS deferrals are invisible to monitors
+  /// (each one inflates the observed back-off by EIFS-DIFS ~ 16 slots).
+  /// Enable to quantify the impact (bench/ablation_estimator).
+  bool use_eifs = false;
+
+  /// Modulo for the 13-bit sequence-offset field of the modified RTS.
+  std::uint32_t seq_off_modulo = 1u << 13;
+
+  /// Contention window (inclusive upper bound of the back-off draw) for a
+  /// 1-based attempt number: CW = min((cw_min+1) * 2^(attempt-1), cw_max+1) - 1.
+  std::uint32_t cw_for_attempt(std::uint32_t attempt) const {
+    std::uint64_t size = static_cast<std::uint64_t>(cw_min) + 1;
+    for (std::uint32_t i = 1; i < attempt && size <= cw_max; ++i) size <<= 1;
+    if (size > static_cast<std::uint64_t>(cw_max) + 1) size = cw_max + 1;
+    return static_cast<std::uint32_t>(size - 1);
+  }
+
+  /// Airtime of a frame of `bytes` at `rate_bps`, including PLCP overhead.
+  SimDuration airtime(std::uint32_t bytes, double rate_bps) const {
+    const double tx_ns = static_cast<double>(bytes) * 8.0 * 1e9 / rate_bps;
+    return plcp_overhead + static_cast<SimDuration>(tx_ns + 0.5);
+  }
+
+  SimDuration rts_airtime() const { return airtime(rts_bytes, basic_rate_bps); }
+  SimDuration cts_airtime() const { return airtime(cts_bytes, basic_rate_bps); }
+  SimDuration ack_airtime() const { return airtime(ack_bytes, basic_rate_bps); }
+  SimDuration data_airtime(std::uint32_t payload_bytes) const {
+    return airtime(payload_bytes + data_header_bytes, data_rate_bps);
+  }
+
+  /// EIFS = SIFS + ACK airtime + DIFS (802.11 with DSSS).
+  SimDuration eifs() const { return sifs + ack_airtime() + difs; }
+
+  /// Timeout waiting for a CTS (or ACK) after our transmission ends.
+  SimDuration response_timeout(SimDuration response_airtime) const {
+    return sifs + response_airtime + 2 * slot_time;
+  }
+
+  /// NAV-reset window (802.11 9.2.5.4): a station whose NAV was most
+  /// recently set by an RTS resets it if the medium shows no new activity
+  /// within 2*SIFS + CTS time + 2 slots of the RTS end. Without this rule
+  /// every collided RTS freezes all overhearers for a full exchange.
+  SimDuration nav_reset_delay() const {
+    return 2 * sifs + cts_airtime() + 2 * slot_time;
+  }
+};
+
+}  // namespace manet::mac

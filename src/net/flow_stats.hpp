@@ -1,0 +1,94 @@
+// End-to-end flow statistics: delivery ratio and latency.
+//
+// Wrap a flow's PacketSink with `recording_sink()` so departures are
+// timestamped, and register the collector as the destination's listener
+// (MAC listener for one-hop flows, AODV listener for routed ones). The
+// payload-id space is global, so one collector can watch many flows.
+#pragma once
+
+#include <unordered_map>
+
+#include "mac/dcf.hpp"
+#include "net/aodv.hpp"
+#include "net/traffic.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace manet::net {
+
+class EndToEndStats : public mac::MacListener, public AodvListener {
+ public:
+  explicit EndToEndStats(sim::Simulator& simulator) : sim_(simulator) {}
+
+  /// Wraps `inner` so submissions are timestamped before being forwarded.
+  class RecordingSink : public PacketSink {
+   public:
+    RecordingSink(EndToEndStats& owner, PacketSink& inner)
+        : owner_(owner), inner_(inner) {}
+    bool submit(NodeId dest, std::uint32_t payload_bytes,
+                std::uint64_t payload_id) override {
+      const bool ok = inner_.submit(dest, payload_bytes, payload_id);
+      owner_.note_sent(payload_id, ok);
+      return ok;
+    }
+
+   private:
+    EndToEndStats& owner_;
+    PacketSink& inner_;
+  };
+
+  RecordingSink wrap(PacketSink& inner) { return RecordingSink(*this, inner); }
+
+  void note_sent(std::uint64_t payload_id, bool accepted) {
+    ++submitted_;
+    if (!accepted) {
+      ++refused_;
+      return;
+    }
+    departures_.emplace(payload_id, sim_.now());
+  }
+
+  void note_delivered(std::uint64_t payload_id, SimTime at) {
+    ++delivered_;
+    auto it = departures_.find(payload_id);
+    if (it == departures_.end()) return;  // not one of ours
+    delay_.add(time_to_seconds(at - it->second));
+    departures_.erase(it);
+  }
+
+  // mac::MacListener (one-hop destination):
+  void on_delivered(const mac::Frame& data, SimTime at) override {
+    note_delivered(data.payload_id, at);
+  }
+  void on_sent(const mac::Frame&, SimTime) override {}
+  void on_dropped(const mac::Frame&, mac::DropReason) override { ++dropped_; }
+
+  // AodvListener (multi-hop destination):
+  void on_l3_delivered(const mac::Frame& data, SimTime at) override {
+    note_delivered(data.payload_id, at);
+  }
+
+  std::uint64_t submitted() const { return submitted_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t refused() const { return refused_; }
+  std::uint64_t dropped() const { return dropped_; }
+  double delivery_ratio() const {
+    const std::uint64_t accepted = submitted_ - refused_;
+    return accepted ? static_cast<double>(delivered_) /
+                          static_cast<double>(accepted)
+                    : 0.0;
+  }
+  /// End-to-end latency statistics in seconds.
+  const util::RunningStats& delay() const { return delay_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::unordered_map<std::uint64_t, SimTime> departures_;
+  util::RunningStats delay_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t refused_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace manet::net

@@ -1,0 +1,85 @@
+#include "net/load.hpp"
+
+#include <cmath>
+
+namespace manet::net {
+
+namespace {
+void default_setup(Network& net) { net.build_random_flows(); }
+}  // namespace
+
+double measure_busy_fraction(const ScenarioConfig& config, double packets_per_second,
+                             NodeId probe, const FlowSetup& setup,
+                             double warmup_s, double measure_s) {
+  ScenarioConfig cfg = config;
+  cfg.packets_per_second = packets_per_second;
+  cfg.sim_seconds = warmup_s + measure_s;
+
+  Network net(cfg);
+  if (setup) {
+    setup(net);
+  } else {
+    default_setup(net);
+  }
+  net.set_flow_rates(packets_per_second);
+
+  const SimTime stop = seconds_to_time(cfg.sim_seconds);
+  net.start_traffic(0, stop);
+  const SimTime measure_from = seconds_to_time(warmup_s);
+  net.run_until(stop);
+  return net.timeline(probe).busy_fraction(measure_from, stop);
+}
+
+CalibrationResult calibrate_load(const ScenarioConfig& config, double target,
+                                 const FlowSetup& setup, double tol, int max_probes) {
+  CalibrationResult result;
+  // Probe at the center node (where the paper's monitored pair sits). The
+  // center is layout-determined, so build one throwaway network to find it.
+  NodeId probe;
+  {
+    Network net(config);
+    probe = net.center_node();
+  }
+
+  auto probe_busy = [&](double rate) {
+    ++result.probe_runs;
+    return measure_busy_fraction(config, rate, probe, setup);
+  };
+
+  // Bracket the target: grow the rate until the busy fraction exceeds it.
+  double lo_rate = 0.0, lo_busy = 0.0;
+  double hi_rate = 4.0;
+  double hi_busy = probe_busy(hi_rate);
+  while (hi_busy < target && hi_rate < 4096.0 && result.probe_runs < max_probes) {
+    lo_rate = hi_rate;
+    lo_busy = hi_busy;
+    hi_rate *= 2.0;
+    hi_busy = probe_busy(hi_rate);
+  }
+
+  // Bisect within the bracket.
+  double best_rate = hi_rate, best_busy = hi_busy;
+  while (result.probe_runs < max_probes &&
+         std::abs(best_busy - target) > tol) {
+    const double mid = 0.5 * (lo_rate + hi_rate);
+    const double busy = probe_busy(mid);
+    if (std::abs(busy - target) < std::abs(best_busy - target)) {
+      best_rate = mid;
+      best_busy = busy;
+    }
+    if (busy < target) {
+      lo_rate = mid;
+      lo_busy = busy;
+    } else {
+      hi_rate = mid;
+      hi_busy = busy;
+    }
+  }
+  (void)lo_busy;
+
+  result.packets_per_second = best_rate;
+  result.measured_busy_fraction = best_busy;
+  return result;
+}
+
+}  // namespace manet::net

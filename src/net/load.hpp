@@ -1,0 +1,41 @@
+// Offered-load calibration.
+//
+// The paper reports results against "traffic intensity" / "load" — the
+// fraction of busy slots a station observes (Section 4's definition,
+// rho = B/N). The mapping from per-flow packet rate to observed busy
+// fraction depends on topology, flow placement, and MAC overheads, so the
+// benches calibrate it empirically: short probe simulations bracket and
+// bisect the per-flow rate until the probe node's measured busy fraction
+// hits the target. This mirrors how the paper's authors dial in ns-2 loads.
+#pragma once
+
+#include <functional>
+
+#include "net/network.hpp"
+#include "net/scenario.hpp"
+
+namespace manet::net {
+
+struct CalibrationResult {
+  double packets_per_second = 0.0;  // per-flow rate achieving the target
+  double measured_busy_fraction = 0.0;
+  int probe_runs = 0;
+};
+
+/// Hook that installs the experiment's flows into a freshly built network
+/// (the default installs the configured random one-hop flows).
+using FlowSetup = std::function<void(Network&)>;
+
+/// Measures the busy fraction seen by `probe` for a given per-flow rate.
+double measure_busy_fraction(const ScenarioConfig& config, double packets_per_second,
+                             NodeId probe, const FlowSetup& setup,
+                             double warmup_s = 2.0, double measure_s = 8.0);
+
+/// Finds the per-flow rate whose measured busy fraction at the *center*
+/// node approximates `target` (absolute tolerance `tol`). The probe node is
+/// the network's center node, matching the paper's monitored pair.
+CalibrationResult calibrate_load(const ScenarioConfig& config, double target,
+                                 const FlowSetup& setup = {}, double tol = 0.03,
+                                 int max_probes = 12);
+
+}  // namespace manet::net

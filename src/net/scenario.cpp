@@ -1,0 +1,96 @@
+#include "net/scenario.hpp"
+
+#include <stdexcept>
+
+namespace manet::net {
+
+void ScenarioConfig::declare(util::Config& c) {
+  c.declare("topology", "grid", "Topology type: grid | random (Table 1)");
+  c.declare("grid_rows", "7", "Grid rows (Table 1: 7x8 grid, 56 nodes)");
+  c.declare("grid_cols", "8", "Grid columns");
+  c.declare("grid_spacing", "240", "Distance between one-hop grid neighbors (m)");
+  c.declare("random_nodes", "112", "Node count for the random topology");
+  c.declare("area_width", "3000", "Topology area width (m)");
+  c.declare("area_height", "3000", "Topology area height (m)");
+  c.declare("mobility", "static", "Mobility: static | rwp (random waypoint)");
+  c.declare("min_speed", "0.5", "Random waypoint minimum speed (m/s)");
+  c.declare("max_speed", "20", "Random waypoint maximum speed (m/s; Table 1: 0-20)");
+  c.declare("pause", "0", "Random waypoint pause time (s; Table 1: 0,50,100,200,300)");
+  c.declare("traffic", "poisson", "Traffic model: poisson | cbr (Table 1)");
+  c.declare("packet_size", "512", "Payload size in bytes (Table 1)");
+  c.declare("num_flows", "30", "Number of source-destination pairs");
+  c.declare("rate", "20", "Per-flow packet rate (packets/s)");
+  c.declare("sim_time", "300", "Simulation time (s; Table 1)");
+  c.declare("seed", "1", "Master random seed");
+  c.declare("queue_length", "50", "MAC interface queue capacity (Table 1)");
+  c.declare("tx_range", "250", "Transmission range (m; Table 1)");
+  c.declare("cs_range", "550", "Sensing/interference range (m; Table 1)");
+  c.declare("path_loss_exponent", "2", "Shadowing-model path loss exponent beta");
+  c.declare("shadowing_sigma", "0", "Shadowing sigma_dB (0 = free space)");
+  c.declare("use_eifs", "false", "Defer EIFS after corrupted receptions");
+  c.declare("routing", "none", "Routing: none (one-hop MAC) | aodv (Table 1)");
+  c.declare("flow_pattern", "one_hop",
+            "Flow destinations: one_hop (paper) | any (multi-hop, needs aodv)");
+}
+
+ScenarioConfig ScenarioConfig::from_config(const util::Config& c) {
+  ScenarioConfig s;
+  s.topology = parse_topology(c.get("topology"));
+  s.grid_rows = static_cast<std::size_t>(c.get_int("grid_rows"));
+  s.grid_cols = static_cast<std::size_t>(c.get_int("grid_cols"));
+  s.grid_spacing_m = c.get_double("grid_spacing");
+  s.random_nodes = static_cast<std::size_t>(c.get_int("random_nodes"));
+  s.area_width_m = c.get_double("area_width");
+  s.area_height_m = c.get_double("area_height");
+  s.mobility = parse_mobility(c.get("mobility"));
+  s.min_speed_mps = c.get_double("min_speed");
+  s.max_speed_mps = c.get_double("max_speed");
+  s.pause_s = c.get_double("pause");
+  s.traffic = parse_traffic(c.get("traffic"));
+  s.payload_bytes = static_cast<std::uint32_t>(c.get_int("packet_size"));
+  s.num_flows = static_cast<std::size_t>(c.get_int("num_flows"));
+  s.packets_per_second = c.get_double("rate");
+  s.sim_seconds = c.get_double("sim_time");
+  s.seed = static_cast<std::uint64_t>(c.get_int("seed"));
+  s.mac.queue_capacity = static_cast<std::uint32_t>(c.get_int("queue_length"));
+  s.mac.use_eifs = c.get_bool("use_eifs");
+  s.prop.tx_range_m = c.get_double("tx_range");
+  s.prop.cs_range_m = c.get_double("cs_range");
+  s.prop.path_loss_exponent = c.get_double("path_loss_exponent");
+  s.prop.shadowing_sigma_db = c.get_double("shadowing_sigma");
+  s.routing = parse_routing(c.get("routing"));
+  s.flow_pattern = parse_flow_pattern(c.get("flow_pattern"));
+  return s;
+}
+
+TopologyKind parse_topology(const std::string& name) {
+  if (name == "grid") return TopologyKind::kGrid;
+  if (name == "random") return TopologyKind::kRandom;
+  throw std::invalid_argument("unknown topology: " + name);
+}
+
+TrafficKind parse_traffic(const std::string& name) {
+  if (name == "poisson") return TrafficKind::kPoisson;
+  if (name == "cbr") return TrafficKind::kCbr;
+  throw std::invalid_argument("unknown traffic model: " + name);
+}
+
+MobilityKind parse_mobility(const std::string& name) {
+  if (name == "static") return MobilityKind::kStatic;
+  if (name == "rwp") return MobilityKind::kRandomWaypoint;
+  throw std::invalid_argument("unknown mobility model: " + name);
+}
+
+RoutingKind parse_routing(const std::string& name) {
+  if (name == "none") return RoutingKind::kNone;
+  if (name == "aodv") return RoutingKind::kAodv;
+  throw std::invalid_argument("unknown routing protocol: " + name);
+}
+
+FlowPattern parse_flow_pattern(const std::string& name) {
+  if (name == "one_hop") return FlowPattern::kOneHop;
+  if (name == "any") return FlowPattern::kAny;
+  throw std::invalid_argument("unknown flow pattern: " + name);
+}
+
+}  // namespace manet::net

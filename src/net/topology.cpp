@@ -1,0 +1,80 @@
+#include "net/topology.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace manet::net {
+
+std::vector<geom::Vec2> grid_topology(std::size_t rows, std::size_t cols,
+                                      double spacing, geom::Vec2 origin) {
+  std::vector<geom::Vec2> nodes;
+  nodes.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      nodes.push_back(origin + geom::Vec2{static_cast<double>(c) * spacing,
+                                          static_cast<double>(r) * spacing});
+    }
+  }
+  return nodes;
+}
+
+std::size_t grid_center_index(std::size_t rows, std::size_t cols) {
+  return (rows / 2) * cols + cols / 2;
+}
+
+std::vector<geom::Vec2> random_topology(std::size_t n, double width, double height,
+                                        util::Xoshiro256ss& rng) {
+  std::vector<geom::Vec2> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back({rng.uniform(0.0, width), rng.uniform(0.0, height)});
+  }
+  return nodes;
+}
+
+bool is_connected(const std::vector<geom::Vec2>& nodes, double range) {
+  if (nodes.empty()) return true;
+  std::vector<bool> seen(nodes.size(), false);
+  std::queue<std::size_t> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t reached = 1;
+  const double r2 = range * range;
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    for (std::size_t v = 0; v < nodes.size(); ++v) {
+      if (seen[v]) continue;
+      if ((nodes[u] - nodes[v]).norm2() <= r2) {
+        seen[v] = true;
+        ++reached;
+        frontier.push(v);
+      }
+    }
+  }
+  return reached == nodes.size();
+}
+
+std::vector<geom::Vec2> random_connected_topology(std::size_t n, double width,
+                                                  double height, double range,
+                                                  util::Xoshiro256ss& rng,
+                                                  int max_tries) {
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    auto nodes = random_topology(n, width, height, rng);
+    if (is_connected(nodes, range)) return nodes;
+  }
+  throw std::runtime_error("could not sample a connected random topology");
+}
+
+std::vector<std::size_t> neighbors_within(const std::vector<geom::Vec2>& nodes,
+                                          std::size_t i, double range) {
+  std::vector<std::size_t> out;
+  const double r2 = range * range;
+  for (std::size_t j = 0; j < nodes.size(); ++j) {
+    if (j == i) continue;
+    if ((nodes[i] - nodes[j]).norm2() <= r2) out.push_back(j);
+  }
+  return out;
+}
+
+}  // namespace manet::net

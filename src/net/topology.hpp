@@ -1,0 +1,40 @@
+// Node placement builders: the paper's 7x8 grid and random layouts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "util/rng.hpp"
+
+namespace manet::net {
+
+/// Grid of `rows` x `cols` nodes spaced `spacing` meters apart, with the
+/// first node at `origin`. Node i sits at (origin.x + (i % cols) * spacing,
+/// origin.y + (i / cols) * spacing).
+std::vector<geom::Vec2> grid_topology(std::size_t rows, std::size_t cols,
+                                      double spacing, geom::Vec2 origin = {});
+
+/// Index of the node nearest the grid centroid (a "center" node).
+std::size_t grid_center_index(std::size_t rows, std::size_t cols);
+
+/// `n` nodes uniform in [0,width) x [0,height).
+std::vector<geom::Vec2> random_topology(std::size_t n, double width, double height,
+                                        util::Xoshiro256ss& rng);
+
+/// True if the unit-disk graph with the given link range is connected.
+bool is_connected(const std::vector<geom::Vec2>& nodes, double range);
+
+/// Resamples random layouts until the topology is connected at `range`
+/// (throws after `max_tries`). The paper sizes its random scenarios (112
+/// nodes in 3000x3000 m) so connectivity holds with high probability.
+std::vector<geom::Vec2> random_connected_topology(std::size_t n, double width,
+                                                  double height, double range,
+                                                  util::Xoshiro256ss& rng,
+                                                  int max_tries = 200);
+
+/// Indices of nodes within `range` of node `i` (excluding i).
+std::vector<std::size_t> neighbors_within(const std::vector<geom::Vec2>& nodes,
+                                          std::size_t i, double range);
+
+}  // namespace manet::net

@@ -1,0 +1,68 @@
+// Human-readable frame tracer (ns-2-trace-flavored).
+//
+// Attach to any MAC as an observer: every frame the node decodes (and its
+// own transmissions) becomes one line:
+//
+//   12.3456789  n5  RTS  3->5  seq=17 att=2  dur=2990us  len=38
+//
+// Useful for debugging scenarios and for the examples; bounded by
+// max_lines so long runs cannot exhaust memory.
+#pragma once
+
+#include <cstdio>
+#include <deque>
+#include <string>
+
+#include "mac/dcf.hpp"
+#include "util/types.hpp"
+
+namespace manet::net {
+
+class FrameTracer : public mac::MacObserver {
+ public:
+  /// `self` labels whose viewpoint the trace records.
+  explicit FrameTracer(NodeId self, std::size_t max_lines = 100000)
+      : self_(self), max_lines_(max_lines) {}
+
+  void on_frame(const mac::Frame& frame, SimTime start, SimTime end) override {
+    char buf[160];
+    char peer[24];
+    if (frame.receiver == kBroadcastNode) {
+      std::snprintf(peer, sizeof peer, "%u->*", frame.transmitter);
+    } else {
+      std::snprintf(peer, sizeof peer, "%u->%u", frame.transmitter, frame.receiver);
+    }
+    std::snprintf(buf, sizeof buf,
+                  "%.7f  n%u  %-4s %-9s seq=%u att=%u dur=%lldus len=%uB air=%lldus",
+                  time_to_seconds(start), self_,
+                  mac::frame_type_name(frame.type), peer, frame.seq_off,
+                  frame.attempt,
+                  static_cast<long long>(frame.duration / kMicrosecond),
+                  frame.payload_bytes,
+                  static_cast<long long>((end - start) / kMicrosecond));
+    lines_.emplace_back(buf);
+    ++total_;
+    if (lines_.size() > max_lines_) lines_.pop_front();
+  }
+
+  const std::deque<std::string>& lines() const { return lines_; }
+  std::uint64_t total_frames() const { return total_; }
+
+  /// Concatenates the retained lines.
+  std::string render() const {
+    std::string out;
+    for (const auto& l : lines_) {
+      out += l;
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  NodeId self_;
+  std::size_t max_lines_;
+  std::deque<std::string> lines_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace manet::net

@@ -1,0 +1,69 @@
+#include "net/traffic.hpp"
+
+namespace manet::net {
+
+namespace {
+/// Payload ids are globally unique and traceable to the source.
+std::uint64_t make_payload_id(NodeId src, std::uint64_t counter) {
+  return (static_cast<std::uint64_t>(src) << 40) | counter;
+}
+}  // namespace
+
+CbrSource::CbrSource(sim::Simulator& simulator, NodeId self, PacketSink& sink,
+                     NodeId dest, double packets_per_second,
+                     std::uint32_t payload_bytes, std::uint64_t seed)
+    : sim_(simulator),
+      self_(self),
+      sink_(sink),
+      dest_(dest),
+      rate_(packets_per_second),
+      payload_bytes_(payload_bytes),
+      rng_(seed) {}
+
+void CbrSource::start(SimTime start, SimTime stop) {
+  stop_ = stop;
+  // Jitter the first packet uniformly over one period so CBR sources do not
+  // phase-lock across the network.
+  const SimDuration period = seconds_to_time(1.0 / rate_);
+  const SimTime first = start + static_cast<SimDuration>(
+                                    rng_.uniform() * static_cast<double>(period));
+  sim_.at(first, [this] { emit(); });
+}
+
+void CbrSource::emit() {
+  if (sim_.now() >= stop_) return;
+  sink_.submit(dest_, payload_bytes_, make_payload_id(self_, ++generated_));
+  const SimDuration period = seconds_to_time(1.0 / rate_);
+  sim_.after(period, [this] { emit(); });
+}
+
+PoissonSource::PoissonSource(sim::Simulator& simulator, NodeId self,
+                             PacketSink& sink, NodeId dest,
+                             double packets_per_second,
+                             std::uint32_t payload_bytes, std::uint64_t seed)
+    : sim_(simulator),
+      self_(self),
+      sink_(sink),
+      dest_(dest),
+      rate_(packets_per_second),
+      payload_bytes_(payload_bytes),
+      rng_(seed) {}
+
+void PoissonSource::start(SimTime start, SimTime stop) {
+  stop_ = stop;
+  sim_.at(start, [this] { schedule_next(); });
+}
+
+void PoissonSource::schedule_next() {
+  if (sim_.now() >= stop_) return;
+  const SimDuration gap = seconds_to_time(rng_.exponential(rate_));
+  sim_.after(gap, [this] { emit(); });
+}
+
+void PoissonSource::emit() {
+  if (sim_.now() >= stop_) return;
+  sink_.submit(dest_, payload_bytes_, make_payload_id(self_, ++generated_));
+  schedule_next();
+}
+
+}  // namespace manet::net

@@ -1,0 +1,121 @@
+// Traffic generators: the paper's CBR and Poisson sources.
+//
+// A source enqueues fixed-size payloads into its node's MAC for a fixed
+// destination (the paper's workload sends each flow to a one-hop neighbor).
+// Sources schedule themselves on the simulator; no background threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mac/dcf.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace manet::net {
+
+/// Where traffic sources hand their packets: either a MAC directly (the
+/// paper's one-hop flows) or a routing layer (multi-hop AODV).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  /// Returns false when the packet was refused (queue full).
+  virtual bool submit(NodeId dest, std::uint32_t payload_bytes,
+                      std::uint64_t payload_id) = 0;
+};
+
+/// Adapts a DCF MAC into a PacketSink (single-hop delivery).
+class DirectMacSink : public PacketSink {
+ public:
+  explicit DirectMacSink(mac::DcfMac& mac) : mac_(mac) {}
+  bool submit(NodeId dest, std::uint32_t payload_bytes,
+              std::uint64_t payload_id) override {
+    return mac_.enqueue(dest, payload_bytes, payload_id);
+  }
+
+ private:
+  mac::DcfMac& mac_;
+};
+
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  /// Begins generating at `start` until `stop`.
+  virtual void start(SimTime start, SimTime stop) = 0;
+
+  virtual NodeId source() const = 0;
+  virtual NodeId destination() const = 0;
+  virtual std::uint64_t generated() const = 0;
+
+  /// Changes the average packet rate (packets/s) for subsequent arrivals —
+  /// used by the load calibrator.
+  virtual void set_rate(double packets_per_second) = 0;
+  virtual double rate() const = 0;
+
+  /// Redirects future packets to a new destination (mobile scenarios hand
+  /// the flow to whichever neighbor currently monitors the sender).
+  virtual void set_destination(NodeId dest) = 0;
+};
+
+/// Constant-bit-rate source with a uniformly jittered start.
+class CbrSource : public TrafficSource {
+ public:
+  CbrSource(sim::Simulator& simulator, NodeId self, PacketSink& sink, NodeId dest,
+            double packets_per_second, std::uint32_t payload_bytes,
+            std::uint64_t seed);
+
+  void start(SimTime start, SimTime stop) override;
+  NodeId source() const override { return self_; }
+  NodeId destination() const override { return dest_; }
+  std::uint64_t generated() const override { return generated_; }
+  void set_rate(double pps) override { rate_ = pps; }
+  double rate() const override { return rate_; }
+  void set_destination(NodeId dest) override { dest_ = dest; }
+
+ private:
+  void emit();
+
+  sim::Simulator& sim_;
+  NodeId self_;
+  PacketSink& sink_;
+  NodeId dest_;
+  double rate_;
+  std::uint32_t payload_bytes_;
+  util::Xoshiro256ss rng_;
+  SimTime stop_ = 0;
+  std::uint64_t generated_ = 0;
+};
+
+/// Poisson source: exponential inter-arrival times.
+class PoissonSource : public TrafficSource {
+ public:
+  PoissonSource(sim::Simulator& simulator, NodeId self, PacketSink& sink, NodeId dest,
+                double packets_per_second, std::uint32_t payload_bytes,
+                std::uint64_t seed);
+
+  void start(SimTime start, SimTime stop) override;
+  NodeId source() const override { return self_; }
+  NodeId destination() const override { return dest_; }
+  std::uint64_t generated() const override { return generated_; }
+  void set_rate(double pps) override { rate_ = pps; }
+  double rate() const override { return rate_; }
+  void set_destination(NodeId dest) override { dest_ = dest; }
+
+ private:
+  void schedule_next();
+  void emit();
+
+  sim::Simulator& sim_;
+  NodeId self_;
+  PacketSink& sink_;
+  NodeId dest_;
+  double rate_;
+  std::uint32_t payload_bytes_;
+  util::Xoshiro256ss rng_;
+  SimTime stop_ = 0;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace manet::net

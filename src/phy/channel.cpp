@@ -1,0 +1,44 @@
+#include "phy/channel.hpp"
+
+#include <stdexcept>
+
+#include "phy/radio.hpp"
+
+namespace manet::phy {
+
+Channel::Channel(sim::Simulator& simulator, Propagation& propagation,
+                 const PositionProvider& positions)
+    : sim_(simulator), prop_(propagation), positions_(positions) {}
+
+void Channel::attach(Radio* radio) {
+  if (by_id_.count(radio->id()) != 0) {
+    throw std::invalid_argument("duplicate radio id attached to channel");
+  }
+  radios_.push_back(radio);
+  by_id_.emplace(radio->id(), radio);
+}
+
+std::uint64_t Channel::transmit(NodeId tx, PayloadPtr payload, SimDuration airtime) {
+  const std::uint64_t id = next_signal_id_++;
+  const SimTime start = sim_.now();
+  const SimTime end = start + airtime;
+  const geom::Vec2 tx_pos = positions_.position(tx, start);
+
+  for (Radio* rx : radios_) {
+    if (rx->id() == tx) continue;
+    const geom::Vec2 rx_pos = positions_.position(rx->id(), start);
+    const double power = prop_.rx_power_dbm(tx_pos, rx_pos);
+    if (power < prop_.cs_threshold_dbm()) continue;  // inaudible
+
+    Signal signal{id, tx, payload, start, end, power};
+    rx->signal_start(signal, prop_.rx_threshold_dbm(),
+                     prop_.params().capture_threshold_db);
+    sim_.at(end, [rx, signal] { rx->signal_end(signal); });
+  }
+
+  Radio* self = by_id_.at(tx);
+  sim_.at(end, [self, id] { self->own_transmit_end(id); });
+  return id;
+}
+
+}  // namespace manet::phy

@@ -1,0 +1,125 @@
+#include "phy/cs_timeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace manet::phy {
+
+void CsTimeline::on_carrier(bool busy, SimTime at) {
+  assert(transitions_.empty() || at >= transitions_.back().at);
+  if (busy == current_busy_) return;
+  if (current_busy_) cum_busy_ += at - last_edge_;
+  last_edge_ = at;
+  transitions_.push_back(Transition{at, busy});
+  current_busy_ = busy;
+  prune(at);
+}
+
+void CsTimeline::prune(SimTime now) {
+  const SimTime horizon = now - retention_;
+  while (transitions_.size() > 1 && transitions_[1].at <= horizon) {
+    initial_busy_ = transitions_.front().busy;
+    transitions_.pop_front();
+  }
+}
+
+SimDuration CsTimeline::cumulative_busy(SimTime at) const {
+  assert(at >= last_edge_);
+  return cum_busy_ + (current_busy_ ? at - last_edge_ : 0);
+}
+
+bool CsTimeline::busy_at(SimTime t) const {
+  // Last transition at or before t determines the state.
+  auto it = std::upper_bound(
+      transitions_.begin(), transitions_.end(), t,
+      [](SimTime v, const Transition& tr) { return v < tr.at; });
+  if (it == transitions_.begin()) return initial_busy_;
+  return std::prev(it)->busy;
+}
+
+SimDuration CsTimeline::busy_time(SimTime from, SimTime to) const {
+  assert(from <= to);
+  if (from == to) return 0;
+
+  SimDuration busy = 0;
+  SimTime cursor = from;
+  bool state = busy_at(from);
+
+  auto it = std::upper_bound(
+      transitions_.begin(), transitions_.end(), from,
+      [](SimTime v, const Transition& tr) { return v < tr.at; });
+  for (; it != transitions_.end() && it->at < to; ++it) {
+    if (state) busy += it->at - cursor;
+    cursor = it->at;
+    state = it->busy;
+  }
+  if (state) busy += to - cursor;
+  return busy;
+}
+
+SlotCounts CsTimeline::count_slots(SimTime from, SimTime to, SimDuration slot) const {
+  assert(slot > 0);
+  SlotCounts counts;
+  bool prev_slot_idle = false;
+  for (SimTime t = from; t + slot <= to; t += slot) {
+    const bool slot_busy = busy_time(t, t + slot) > 0;
+    if (slot_busy) {
+      ++counts.busy;
+      prev_slot_idle = false;
+    } else {
+      ++counts.idle;
+      if (!prev_slot_idle) ++counts.idle_periods;
+      prev_slot_idle = true;
+    }
+  }
+  return counts;
+}
+
+std::vector<std::pair<SimTime, SimTime>> CsTimeline::busy_intervals(
+    SimTime from, SimTime to) const {
+  std::vector<std::pair<SimTime, SimTime>> out;
+  SimTime cursor = from;
+  bool state = busy_at(from);
+
+  auto it = std::upper_bound(
+      transitions_.begin(), transitions_.end(), from,
+      [](SimTime v, const Transition& tr) { return v < tr.at; });
+  for (; it != transitions_.end() && it->at < to; ++it) {
+    if (state && it->at > cursor) out.emplace_back(cursor, it->at);
+    cursor = it->at;
+    state = it->busy;
+  }
+  if (state && to > cursor) out.emplace_back(cursor, to);
+  return out;
+}
+
+SimDuration CsTimeline::countable_idle_time(SimTime from, SimTime to,
+                                            SimDuration difs) const {
+  assert(from <= to);
+  SimDuration countable = 0;
+  SimTime cursor = from;
+  bool state = busy_at(from);
+
+  auto close_idle_period = [&](SimTime end_at) {
+    const SimDuration len = end_at - cursor;
+    if (!state && len > difs) countable += len - difs;
+  };
+
+  auto it = std::upper_bound(
+      transitions_.begin(), transitions_.end(), from,
+      [](SimTime v, const Transition& tr) { return v < tr.at; });
+  for (; it != transitions_.end() && it->at < to; ++it) {
+    close_idle_period(it->at);
+    cursor = it->at;
+    state = it->busy;
+  }
+  close_idle_period(to);
+  return countable;
+}
+
+double CsTimeline::busy_fraction(SimTime from, SimTime to) const {
+  if (to <= from) return 0.0;
+  return static_cast<double>(busy_time(from, to)) / static_cast<double>(to - from);
+}
+
+}  // namespace manet::phy

@@ -1,0 +1,97 @@
+// Carrier-sense timeline: the record of busy/idle transitions one node's
+// radio perceives, with slot-accounting queries.
+//
+// This is the monitor's raw material: the paper's monitor counts the idle
+// (I) and busy (B) slots it observes between two transmissions of the
+// tagged neighbor, and the ARMA filter consumes per-window busy fractions.
+// History older than `retention` is pruned so memory stays bounded over
+// 300 s runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "phy/radio.hpp"
+#include "util/types.hpp"
+
+namespace manet::phy {
+
+struct SlotCounts {
+  std::int64_t idle = 0;
+  std::int64_t busy = 0;
+  /// Number of distinct idle periods in the window (each one costs the
+  /// counting station a DIFS of deferral before countdown resumes).
+  std::int64_t idle_periods = 0;
+
+  std::int64_t total() const { return idle + busy; }
+};
+
+class CsTimeline : public RadioListener {
+ public:
+  explicit CsTimeline(SimDuration retention = 10 * kSecond)
+      : retention_(retention) {}
+
+  /// Attach to a radio: radio.add_listener(&timeline). Initial state is
+  /// idle at time 0.
+
+  // RadioListener:
+  void on_carrier(bool busy, SimTime at) override;
+  void on_receive(const Signal&) override {}
+  void on_receive_error(const Signal&) override {}
+  void on_transmit_end(std::uint64_t) override {}
+
+  bool busy_at_end() const { return current_busy_; }
+
+  /// Busy time within [from, to] given the recorded transitions. `to` must
+  /// not precede `from`; times beyond the last transition extend the
+  /// current state.
+  SimDuration busy_time(SimTime from, SimTime to) const;
+
+  /// Classifies the window [from, to] into whole slots of length `slot`:
+  /// a slot is busy if the channel was busy at any point inside it
+  /// (conservative, matching how a station's countdown actually freezes).
+  SlotCounts count_slots(SimTime from, SimTime to, SimDuration slot) const;
+
+  /// Busy fraction of [from, to] (0 if empty window).
+  double busy_fraction(SimTime from, SimTime to) const;
+
+  /// Maximal busy intervals intersected with [from, to].
+  std::vector<std::pair<SimTime, SimTime>> busy_intervals(SimTime from,
+                                                          SimTime to) const;
+
+  /// Cumulative busy time since t=0 up to `at` (which must be >= the last
+  /// recorded transition). Unlike the windowed queries this survives
+  /// pruning, so long-horizon busy fractions (a whole run's traffic
+  /// intensity) stay exact: fraction = (cum(b) - cum(a)) / (b - a).
+  SimDuration cumulative_busy(SimTime at) const;
+
+  /// Total idle time within [from, to] that a deferring station could have
+  /// spent counting down: each maximal idle period inside the window is
+  /// charged one DIFS of deferral (802.11 resumes countdown only after the
+  /// medium has been idle for DIFS). This is the monitor's denominator for
+  /// converting observed idle time into candidate back-off slots.
+  SimDuration countable_idle_time(SimTime from, SimTime to, SimDuration difs) const;
+
+  std::size_t recorded_transitions() const { return transitions_.size(); }
+
+ private:
+  void prune(SimTime now);
+  /// Channel state at absolute time t (assumes t >= earliest retained).
+  bool busy_at(SimTime t) const;
+
+  struct Transition {
+    SimTime at;
+    bool busy;  // state from `at` onward
+  };
+
+  SimDuration retention_;
+  std::deque<Transition> transitions_;  // sorted by time
+  bool current_busy_ = false;
+  bool initial_busy_ = false;  // state before the first retained transition
+  SimTime last_edge_ = 0;      // time of the most recent transition
+  SimDuration cum_busy_ = 0;   // busy time accumulated before last_edge_
+};
+
+}  // namespace manet::phy

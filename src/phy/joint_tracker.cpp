@@ -1,0 +1,46 @@
+#include "phy/joint_tracker.hpp"
+
+namespace manet::phy {
+
+JointBusyTracker::JointBusyTracker(Radio& s, Radio& r)
+    : s_probe_(*this, /*is_s=*/true), r_probe_(*this, /*is_s=*/false) {
+  s.add_listener(&s_probe_);
+  r.add_listener(&r_probe_);
+  s_busy_ = s.carrier_busy();
+  r_busy_ = r.carrier_busy();
+}
+
+void JointBusyTracker::advance(SimTime to) {
+  if (to > last_) {
+    acc_[index(s_busy_, r_busy_)] += to - last_;
+    last_ = to;
+  }
+}
+
+void JointBusyTracker::flush(SimTime at) { advance(at); }
+
+void JointBusyTracker::reset(SimTime at) {
+  advance(at);
+  acc_ = {};
+}
+
+double JointBusyTracker::p_s_busy_given_r_idle() const {
+  const SimDuration r_idle = duration(false, false) + duration(true, false);
+  if (r_idle == 0) return 0.0;
+  return static_cast<double>(duration(true, false)) / static_cast<double>(r_idle);
+}
+
+double JointBusyTracker::p_s_idle_given_r_busy() const {
+  const SimDuration r_busy = duration(false, true) + duration(true, true);
+  if (r_busy == 0) return 0.0;
+  return static_cast<double>(duration(false, true)) / static_cast<double>(r_busy);
+}
+
+double JointBusyTracker::r_busy_fraction() const {
+  const SimDuration total = acc_[0] + acc_[1] + acc_[2] + acc_[3];
+  if (total == 0) return 0.0;
+  const SimDuration r_busy = duration(false, true) + duration(true, true);
+  return static_cast<double>(r_busy) / static_cast<double>(total);
+}
+
+}  // namespace manet::phy

@@ -1,0 +1,74 @@
+// Joint busy/idle occupancy of two stations' carrier sense.
+//
+// Ground-truth instrument for the paper's Figures 3 and 4: accumulates the
+// time both S and R spend in each of the four joint (busy, idle) states and
+// reports the conditional probabilities
+//   p(S busy | R idle)  and  p(S idle | R busy).
+// Continuous-time occupancy gives the same ratios as the paper's slot
+// sampling (slots are i.i.d. samples of the same stationary process).
+#pragma once
+
+#include <array>
+
+#include "phy/radio.hpp"
+#include "util/types.hpp"
+
+namespace manet::phy {
+
+class JointBusyTracker {
+ public:
+  /// Subscribes to both radios. The tracker must outlive the simulation.
+  JointBusyTracker(Radio& s, Radio& r);
+
+  /// Stops accumulating before `at` (idempotent); call at measurement end.
+  void flush(SimTime at);
+
+  /// Begin measuring at `at`, discarding earlier accumulation (warm-up).
+  void reset(SimTime at);
+
+  SimDuration duration(bool s_busy, bool r_busy) const {
+    return acc_[index(s_busy, r_busy)];
+  }
+
+  /// p(S busy | R idle); 0 if R was never idle.
+  double p_s_busy_given_r_idle() const;
+
+  /// p(S idle | R busy); 0 if R was never busy.
+  double p_s_idle_given_r_busy() const;
+
+  /// Fraction of time R was busy (its traffic intensity by the paper's
+  /// definition).
+  double r_busy_fraction() const;
+
+ private:
+  static constexpr std::size_t index(bool s_busy, bool r_busy) {
+    return (s_busy ? 2u : 0u) | (r_busy ? 1u : 0u);
+  }
+
+  class Probe : public RadioListener {
+   public:
+    Probe(JointBusyTracker& owner, bool is_s) : owner_(owner), is_s_(is_s) {}
+    void on_carrier(bool busy, SimTime at) override {
+      owner_.advance(at);
+      (is_s_ ? owner_.s_busy_ : owner_.r_busy_) = busy;
+    }
+    void on_receive(const Signal&) override {}
+    void on_receive_error(const Signal&) override {}
+    void on_transmit_end(std::uint64_t) override {}
+
+   private:
+    JointBusyTracker& owner_;
+    bool is_s_;
+  };
+
+  void advance(SimTime to);
+
+  Probe s_probe_;
+  Probe r_probe_;
+  bool s_busy_ = false;
+  bool r_busy_ = false;
+  SimTime last_ = 0;
+  std::array<SimDuration, 4> acc_{};
+};
+
+}  // namespace manet::phy

@@ -1,0 +1,32 @@
+#include "phy/propagation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace manet::phy {
+
+Propagation::Propagation(const PropagationParams& params, std::uint64_t shadowing_seed)
+    : params_(params), shadowing_rng_(shadowing_seed) {
+  if (params.tx_range_m <= 0 || params.cs_range_m < params.tx_range_m) {
+    throw std::invalid_argument("require 0 < tx_range <= cs_range");
+  }
+  rx_threshold_dbm_ = mean_rx_power_dbm(params.tx_range_m);
+  cs_threshold_dbm_ = mean_rx_power_dbm(params.cs_range_m);
+}
+
+double Propagation::mean_rx_power_dbm(double distance_m) const {
+  const double d = std::max(distance_m, params_.reference_distance_m);
+  return params_.tx_power_dbm - params_.reference_loss_db -
+         10.0 * params_.path_loss_exponent *
+             std::log10(d / params_.reference_distance_m);
+}
+
+double Propagation::rx_power_dbm(const geom::Vec2& tx, const geom::Vec2& rx) {
+  double p = mean_rx_power_dbm(geom::distance(tx, rx));
+  if (params_.shadowing_sigma_db > 0.0) {
+    p += shadowing_rng_.normal(0.0, params_.shadowing_sigma_db);
+  }
+  return p;
+}
+
+}  // namespace manet::phy

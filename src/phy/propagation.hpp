@@ -1,0 +1,61 @@
+// Radio propagation: log-distance path loss with optional log-normal
+// shadowing — the channel model of the paper (Table 1 / Section 5):
+//
+//   Pr(d) [dB] = Pr(d0) - 10 beta log10(d/d0) + X_sigma
+//
+// beta is the path-loss exponent and X_sigma a zero-mean Gaussian in dB.
+// The paper's experiments use free space (beta = 2, sigma = 0), which makes
+// the 250 m transmission range and 550 m sensing range deterministic disks;
+// sigma > 0 reproduces ns-2's shadowing model, where a fresh deviate is
+// drawn per reception.
+//
+// Reception/carrier-sense thresholds are expressed as the deterministic
+// received power at the configured ranges, so configuring ranges *is*
+// configuring thresholds.
+#pragma once
+
+#include "geom/vec2.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace manet::phy {
+
+struct PropagationParams {
+  double tx_power_dbm = 15.0;
+  double path_loss_exponent = 2.0;   // beta
+  double shadowing_sigma_db = 0.0;   // sigma_dB (0 = free space, the paper's setting)
+  double reference_distance_m = 1.0; // d0
+  double reference_loss_db = 31.67;  // Friis loss at d0 for 914 MHz
+  double tx_range_m = 250.0;         // decodable range (Table 1)
+  double cs_range_m = 550.0;         // sensing/interference range (Table 1)
+  /// Minimum power advantage for a frame to survive a concurrent arrival.
+  double capture_threshold_db = 10.0;
+};
+
+class Propagation {
+ public:
+  Propagation(const PropagationParams& params, std::uint64_t shadowing_seed);
+
+  /// Deterministic mean received power at distance d (dBm).
+  double mean_rx_power_dbm(double distance_m) const;
+
+  /// Received power for one transmission event, including a fresh shadowing
+  /// deviate when sigma > 0 (matching ns-2, which redraws per reception).
+  double rx_power_dbm(const geom::Vec2& tx, const geom::Vec2& rx);
+
+  /// Power below which a signal is inaudible even as energy.
+  double cs_threshold_dbm() const { return cs_threshold_dbm_; }
+
+  /// Power at or above which a frame is decodable.
+  double rx_threshold_dbm() const { return rx_threshold_dbm_; }
+
+  const PropagationParams& params() const { return params_; }
+
+ private:
+  PropagationParams params_;
+  double cs_threshold_dbm_;
+  double rx_threshold_dbm_;
+  util::Xoshiro256ss shadowing_rng_;
+};
+
+}  // namespace manet::phy

@@ -1,0 +1,87 @@
+#include "phy/radio.hpp"
+
+#include <cassert>
+
+#include "phy/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet::phy {
+
+Radio::Radio(NodeId id, Channel& channel) : id_(id), channel_(channel) {
+  channel.attach(this);
+}
+
+std::uint64_t Radio::transmit(PayloadPtr payload, SimDuration airtime) {
+  assert(!transmitting_ && "half-duplex radio asked to transmit twice");
+  transmitting_ = true;
+  // Transmitting while locked onto a frame corrupts that reception.
+  if (receiving_) rx_corrupted_ = true;
+  notify_carrier_if_changed();
+  return channel_.transmit(id_, std::move(payload), airtime);
+}
+
+void Radio::signal_start(const Signal& signal, double rx_threshold_dbm,
+                         double capture_threshold_db) {
+  incident_.emplace(signal.id, signal);
+
+  if (transmitting_) {
+    // Half duplex: we cannot decode anything while transmitting; the energy
+    // still counts toward carrier sense (trivially busy already).
+    notify_carrier_if_changed();
+    return;
+  }
+
+  if (receiving_) {
+    // Concurrent arrival: corrupts the locked frame unless it is far weaker.
+    if (signal.rx_power_dbm > rx_signal_.rx_power_dbm - capture_threshold_db) {
+      rx_corrupted_ = true;
+    }
+  } else if (signal.rx_power_dbm >= rx_threshold_dbm) {
+    // Lock onto this frame if no comparable interference is already present.
+    bool blocked = false;
+    for (const auto& [sid, s] : incident_) {
+      if (sid == signal.id) continue;
+      if (s.rx_power_dbm > signal.rx_power_dbm - capture_threshold_db) {
+        blocked = true;
+        break;
+      }
+    }
+    receiving_ = true;
+    rx_signal_ = signal;
+    rx_corrupted_ = blocked;
+  }
+  notify_carrier_if_changed();
+}
+
+void Radio::signal_end(const Signal& signal) {
+  incident_.erase(signal.id);
+
+  if (receiving_ && signal.id == rx_signal_.id) {
+    receiving_ = false;
+    const bool ok = !rx_corrupted_ && !transmitting_;
+    rx_corrupted_ = false;
+    if (ok) {
+      for (auto* l : listeners_) l->on_receive(signal);
+    } else {
+      for (auto* l : listeners_) l->on_receive_error(signal);
+    }
+  }
+  notify_carrier_if_changed();
+}
+
+void Radio::own_transmit_end(std::uint64_t signal_id) {
+  assert(transmitting_);
+  transmitting_ = false;
+  for (auto* l : listeners_) l->on_transmit_end(signal_id);
+  notify_carrier_if_changed();
+}
+
+void Radio::notify_carrier_if_changed() {
+  const bool busy = carrier_busy();
+  if (busy == last_carrier_) return;
+  last_carrier_ = busy;
+  const SimTime at = channel_.simulator().now();
+  for (auto* l : listeners_) l->on_carrier(busy, at);
+}
+
+}  // namespace manet::phy

@@ -1,0 +1,83 @@
+// Half-duplex radio transceiver.
+//
+// Tracks every audible in-flight signal, derives physical carrier sense
+// (any audible energy, or own transmission), and decodes at most one frame
+// at a time:
+//   * an arriving signal with power >= rx threshold starts a reception if
+//     the radio is idle (not transmitting, not locked onto another frame);
+//   * a concurrent arrival within `capture_threshold_db` of the locked
+//     frame corrupts it (collision); a weaker one is plain interference;
+//   * receptions that overlap our own transmission are lost (half duplex).
+// MAC-level listeners are notified of carrier transitions, completed
+// receptions, and reception errors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "phy/signal.hpp"
+#include "util/types.hpp"
+
+namespace manet::phy {
+
+class Channel;
+
+/// Callbacks a MAC (or tracker) registers with its radio.
+class RadioListener {
+ public:
+  virtual ~RadioListener() = default;
+  /// Physical carrier sense changed. Called only on edges.
+  virtual void on_carrier(bool busy, SimTime at) = 0;
+  /// A frame addressed through the air arrived intact.
+  virtual void on_receive(const Signal& signal) = 0;
+  /// A frame we had locked onto was corrupted (collision / own tx overlap).
+  virtual void on_receive_error(const Signal& signal) = 0;
+  /// Our own transmission finished.
+  virtual void on_transmit_end(std::uint64_t signal_id) = 0;
+};
+
+class Radio {
+ public:
+  Radio(NodeId id, Channel& channel);
+
+  NodeId id() const { return id_; }
+
+  /// Adds a listener (MAC first, then any trackers). Not removable; the
+  /// topology of a scenario is fixed at build time.
+  void add_listener(RadioListener* listener) { listeners_.push_back(listener); }
+
+  /// Begins transmitting. Precondition: not already transmitting.
+  /// Returns the signal id.
+  std::uint64_t transmit(PayloadPtr payload, SimDuration airtime);
+
+  bool transmitting() const { return transmitting_; }
+
+  /// Physical carrier sense: audible energy or own transmission.
+  bool carrier_busy() const { return transmitting_ || !incident_.empty(); }
+
+  // --- Channel-facing interface ---
+  void signal_start(const Signal& signal, double rx_threshold_dbm,
+                    double capture_threshold_db);
+  void signal_end(const Signal& signal);
+  void own_transmit_end(std::uint64_t signal_id);
+
+ private:
+  void notify_carrier_if_changed();
+
+  NodeId id_;
+  Channel& channel_;
+  std::vector<RadioListener*> listeners_;
+
+  std::unordered_map<std::uint64_t, Signal> incident_;  // audible signals
+  bool transmitting_ = false;
+  bool last_carrier_ = false;
+
+  // Reception lock state.
+  bool receiving_ = false;
+  Signal rx_signal_;
+  bool rx_corrupted_ = false;
+};
+
+}  // namespace manet::phy

@@ -1,0 +1,40 @@
+// In-flight signal representation and the opaque payload the PHY carries.
+//
+// The PHY is payload-agnostic: MAC frames derive from Payload and are
+// recovered by the MAC with a static downcast. This keeps the dependency
+// direction mac -> phy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "geom/vec2.hpp"
+#include "util/types.hpp"
+
+namespace manet::phy {
+
+/// Base class for anything the PHY can carry.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// One transmission as perceived by one receiver.
+struct Signal {
+  std::uint64_t id = 0;        // unique per transmission event
+  NodeId transmitter = kInvalidNode;
+  PayloadPtr payload;
+  SimTime start = 0;
+  SimTime end = 0;
+  double rx_power_dbm = 0.0;   // at this receiver
+};
+
+/// Interface nodes use to expose their (possibly moving) positions.
+class PositionProvider {
+ public:
+  virtual ~PositionProvider() = default;
+  virtual geom::Vec2 position(NodeId node, SimTime at) const = 0;
+};
+
+}  // namespace manet::phy

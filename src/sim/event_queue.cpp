@@ -1,0 +1,45 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace manet::sim {
+
+EventId EventQueue::schedule(SimTime t, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{t, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  pending_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) { pending_.erase(id); }
+
+void EventQueue::drop_dead_head() {
+  while (!heap_.empty() && pending_.count(heap_.front().id) == 0) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_dead_head();
+  return heap_.empty() ? kTimeNever : heap_.front().time;
+}
+
+EventQueue::Dispatched EventQueue::pop() {
+  drop_dead_head();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.id);
+  return Dispatched{e.time, e.id, std::move(e.fn)};
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  pending_.clear();
+}
+
+}  // namespace manet::sim

@@ -1,0 +1,79 @@
+// Pending-event set for the discrete-event kernel.
+//
+// A binary heap keyed by (time, sequence number). The sequence number makes
+// dispatch order total and deterministic: events scheduled earlier run
+// first among equal timestamps (FIFO), which is what protocol code expects.
+// Cancellation is lazy: a cancelled entry stays in the heap and is skipped
+// at pop time, keeping cancel() O(1) — MAC back-off logic cancels timers
+// constantly. Liveness is tracked by a pending-id set, so cancelling an
+// already-dispatched or never-issued id is a harmless no-op.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace manet::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`; returns a cancellable id (never
+  /// kInvalidEvent).
+  EventId schedule(SimTime t, EventFn fn);
+
+  /// Cancels a pending event. Cancelling an already-dispatched, already-
+  /// cancelled, or invalid id is a harmless no-op.
+  void cancel(EventId id);
+
+  /// True if `id` is scheduled and not yet dispatched or cancelled.
+  bool pending(EventId id) const { return pending_.count(id) != 0; }
+
+  /// True if no live (non-cancelled) events remain.
+  bool empty() const { return pending_.empty(); }
+
+  /// Number of live events.
+  std::size_t size() const { return pending_.size(); }
+
+  /// Timestamp of the earliest live event; kTimeNever when empty.
+  SimTime next_time();
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  struct Dispatched {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  Dispatched pop();
+
+  /// Drops all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_dead_head();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace manet::sim

@@ -1,0 +1,40 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace manet::sim {
+
+EventId Simulator::at(SimTime t, EventFn fn) {
+  if (t < now_) throw std::invalid_argument("cannot schedule in the past");
+  return queue_.schedule(t, std::move(fn));
+}
+
+std::uint64_t Simulator::loop(SimTime end) {
+  std::uint64_t count = 0;
+  while (!stopped_) {
+    const SimTime t = queue_.next_time();
+    if (t == kTimeNever || t > end) break;
+    auto ev = queue_.pop();
+    assert(ev.time >= now_ && "event queue yielded a past event");
+    now_ = ev.time;
+    ev.fn();
+    ++count;
+  }
+  dispatched_ += count;
+  return count;
+}
+
+std::uint64_t Simulator::run_until(SimTime end) {
+  stopped_ = false;
+  const std::uint64_t n = loop(end);
+  if (!stopped_ && end > now_) now_ = end;
+  return n;
+}
+
+std::uint64_t Simulator::run() {
+  stopped_ = false;
+  return loop(kTimeNever);
+}
+
+}  // namespace manet::sim

@@ -1,0 +1,26 @@
+#include "util/flags.hpp"
+
+namespace manet::util {
+
+ParsedFlags parse_flags(int argc, const char* const* argv, Config& config) {
+  ParsedFlags out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      out.help = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        throw ConfigError("expected --key=value, got: " + arg);
+      }
+      config.set(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      continue;
+    }
+    out.positional.push_back(arg);
+  }
+  return out;
+}
+
+}  // namespace manet::util

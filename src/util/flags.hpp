@@ -1,0 +1,21 @@
+// Command-line parsing: --key=value pairs feeding a Config.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/config.hpp"
+
+namespace manet::util {
+
+struct ParsedFlags {
+  bool help = false;
+  /// Arguments that were not --key=value flags, in order.
+  std::vector<std::string> positional;
+};
+
+/// Applies --key=value arguments to `config`. "--help"/"-h" sets help.
+/// Throws ConfigError on undeclared keys or malformed flags.
+ParsedFlags parse_flags(int argc, const char* const* argv, Config& config);
+
+}  // namespace manet::util

@@ -1,0 +1,66 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace manet::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::size_t>((x - lo_) / span * static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::bin_fraction(std::size_t i) const {
+  const std::size_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(in_range);
+}
+
+double Histogram::chi_square_uniform() const {
+  const std::size_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  const double expected = static_cast<double>(in_range) / static_cast<double>(counts_.size());
+  double chi2 = 0.0;
+  for (std::size_t c : counts_) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream out;
+  const std::size_t max_count = counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        max_count == 0 ? 0 : counts_[i] * width / max_count;
+    out << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+        << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (underflow_ != 0) out << "underflow: " << underflow_ << "\n";
+  if (overflow_ != 0) out << "overflow: " << overflow_ << "\n";
+  return out.str();
+}
+
+}  // namespace manet::util

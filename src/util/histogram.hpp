@@ -1,0 +1,44 @@
+// Fixed-bin histogram for distribution diagnostics in tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace manet::util {
+
+class Histogram {
+ public:
+  /// Creates a histogram over [lo, hi) with `bins` equal-width bins.
+  /// Out-of-range samples are counted in underflow/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Fraction of in-range samples in bin i (0 if empty).
+  double bin_fraction(std::size_t i) const;
+
+  /// Chi-square statistic against a uniform in-range expectation.
+  double chi_square_uniform() const;
+
+  /// Multi-line ASCII rendering (for example programs).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace manet::util

@@ -1,0 +1,95 @@
+#include "util/intervals.hpp"
+
+#include <algorithm>
+
+namespace manet::util {
+
+void IntervalSet::add(SimTime lo, SimTime hi) {
+  if (hi <= lo) return;
+  items_.push_back(Interval{lo, hi});
+  normalized_ = false;
+}
+
+void IntervalSet::normalize() const {
+  if (normalized_) return;
+  std::sort(items_.begin(), items_.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> merged;
+  for (const Interval& iv : items_) {
+    if (!merged.empty() && iv.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  items_ = std::move(merged);
+  normalized_ = true;
+}
+
+bool IntervalSet::empty() const {
+  normalize();
+  return items_.empty();
+}
+
+SimDuration IntervalSet::total_length() const {
+  normalize();
+  SimDuration total = 0;
+  for (const Interval& iv : items_) total += iv.length();
+  return total;
+}
+
+const std::vector<Interval>& IntervalSet::intervals() const {
+  normalize();
+  return items_;
+}
+
+IntervalSet IntervalSet::clamped(SimTime lo, SimTime hi) const {
+  normalize();
+  IntervalSet out;
+  for (const Interval& iv : items_) {
+    out.add(std::max(iv.lo, lo), std::min(iv.hi, hi));
+  }
+  return out;
+}
+
+SimDuration IntervalSet::intersection_length(const IntervalSet& other) const {
+  normalize();
+  other.normalize();
+  SimDuration total = 0;
+  std::size_t i = 0, j = 0;
+  while (i < items_.size() && j < other.items_.size()) {
+    const Interval& a = items_[i];
+    const Interval& b = other.items_[j];
+    const SimTime lo = std::max(a.lo, b.lo);
+    const SimTime hi = std::min(a.hi, b.hi);
+    if (hi > lo) total += hi - lo;
+    if (a.hi < b.hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+std::vector<Interval> IntervalSet::complement_within(SimTime lo, SimTime hi) const {
+  normalize();
+  std::vector<Interval> gaps;
+  SimTime cursor = lo;
+  for (const Interval& iv : items_) {
+    if (iv.hi <= lo) continue;
+    if (iv.lo >= hi) break;
+    const SimTime start = std::max(iv.lo, lo);
+    if (start > cursor) gaps.push_back(Interval{cursor, start});
+    cursor = std::max(cursor, std::min(iv.hi, hi));
+  }
+  if (cursor < hi) gaps.push_back(Interval{cursor, hi});
+  return gaps;
+}
+
+void IntervalSet::merge(const IntervalSet& other) {
+  other.normalize();
+  for (const Interval& iv : other.items_) add(iv.lo, iv.hi);
+}
+
+}  // namespace manet::util

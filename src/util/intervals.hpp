@@ -1,0 +1,54 @@
+// Half-open time-interval set with union/intersection/complement —
+// the bookkeeping behind the monitor's observation-window accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace manet::util {
+
+struct Interval {
+  SimTime lo = 0;
+  SimTime hi = 0;  // exclusive
+  SimDuration length() const { return hi - lo; }
+  bool operator==(const Interval&) const = default;
+};
+
+/// A set of half-open intervals, kept normalized (sorted, disjoint,
+/// non-empty) lazily on query.
+class IntervalSet {
+ public:
+  /// Adds [lo, hi); empty or inverted input is ignored.
+  void add(SimTime lo, SimTime hi);
+
+  bool empty() const;
+
+  /// Sum of lengths of the (unioned) intervals.
+  SimDuration total_length() const;
+
+  /// Normalized intervals.
+  const std::vector<Interval>& intervals() const;
+
+  /// Restricts the set to [lo, hi).
+  IntervalSet clamped(SimTime lo, SimTime hi) const;
+
+  /// Length of the intersection with `other`.
+  SimDuration intersection_length(const IntervalSet& other) const;
+
+  /// The gaps of this set within [lo, hi): maximal sub-intervals not
+  /// covered by the set.
+  std::vector<Interval> complement_within(SimTime lo, SimTime hi) const;
+
+  /// Set union (mutating).
+  void merge(const IntervalSet& other);
+
+ private:
+  void normalize() const;
+
+  mutable std::vector<Interval> items_;
+  mutable bool normalized_ = true;
+};
+
+}  // namespace manet::util

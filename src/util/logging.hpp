@@ -1,0 +1,57 @@
+// Minimal leveled logging for the simulator.
+//
+// Logging is global and off by default above WARN so hot paths stay cheap;
+// a disabled level costs one branch. Messages are formatted only when the
+// level is enabled.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace manet::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Returns the current global log level.
+LogLevel log_level();
+
+/// Sets the global log level.
+void set_log_level(LogLevel level);
+
+/// True if `level` would be emitted.
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
+
+/// Emits a single log line (appends '\n'); used by the LOG macro.
+void log_emit(LogLevel level, const std::string& message);
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; returns kWarn on
+/// unknown input.
+LogLevel parse_log_level(const std::string& name);
+
+}  // namespace manet::util
+
+// Usage: MANET_LOG(kDebug) << "node " << id << " started backoff " << slots;
+#define MANET_LOG(level_enum)                                            \
+  if (!::manet::util::log_enabled(::manet::util::LogLevel::level_enum)) \
+    ;                                                                    \
+  else                                                                   \
+    ::manet::util::LogLine(::manet::util::LogLevel::level_enum).stream()
+
+namespace manet::util {
+
+/// RAII helper that buffers one log line and emits it at end of statement.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace manet::util

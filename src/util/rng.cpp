@@ -1,0 +1,39 @@
+#include "util/rng.hpp"
+
+namespace manet::util {
+
+std::uint64_t Xoshiro256ss::uniform_int(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Lemire-style rejection: draw until the value falls in the largest
+  // multiple of n representable in 64 bits.
+  const std::uint64_t limit = (~0ULL) - (~0ULL) % n;
+  std::uint64_t v;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return v % n;
+}
+
+double Xoshiro256ss::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Xoshiro256ss::exponential(double rate) {
+  // Avoid log(0): uniform() is in [0,1), so 1-u is in (0,1].
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+}  // namespace manet::util

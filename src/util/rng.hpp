@@ -1,0 +1,125 @@
+// Random number generation.
+//
+// Three generators with distinct roles:
+//  * SplitMix64     — seeding / hashing primitive.
+//  * Xoshiro256ss   — general-purpose simulation randomness (fast, high
+//                     quality, 2^256 period). Every stochastic component
+//                     (traffic, mobility, shadowing, ...) gets its own
+//                     stream so that changing one component's draw count
+//                     does not perturb the others.
+//  * CounterRng     — the *verifiable* pseudo-random sequence (PRS) of the
+//                     paper: a counter-based generator where value(i) is a
+//                     pure function of (seed, i). A monitor that knows a
+//                     neighbor's seed (its MAC address) and an announced
+//                     sequence offset can compute the dictated back-off in
+//                     O(1) without replaying generator state.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace manet::util {
+
+/// SplitMix64 step: returns the output for state `x` after advancing it.
+constexpr std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a single 64-bit value (used for hashing ids into seeds).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** by Blackman & Vigna. Public-domain algorithm, re-implemented.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed = 0xC0FFEE123456789ULL) {
+    // Seed the four words via SplitMix64 as recommended by the authors.
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Uses rejection to avoid modulo bias.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal deviate (polar Box–Muller, cached second value).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential deviate with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Counter-based verifiable generator: value(i) = mix(seed, i).
+///
+/// This realizes the paper's dictated pseudo-random sequence (PRS). All
+/// nodes agree on the construction; the seed is the owner's MAC address, so
+/// every neighbor can reproduce any element of the sequence on demand.
+class CounterRng {
+ public:
+  constexpr explicit CounterRng(std::uint64_t seed) : seed_(mix64(seed)) {}
+
+  /// The i-th 64-bit value of the sequence. Pure function of (seed, i).
+  constexpr std::uint64_t value_at(std::uint64_t index) const {
+    std::uint64_t s = seed_ ^ (0x9E3779B97F4A7C15ULL * (index + 1));
+    return splitmix64(s);
+  }
+
+  /// The i-th value reduced to [0, n). n must be > 0. The tiny modulo bias
+  /// (n <= 1024 in DCF) is acceptable and — critically — deterministic, so
+  /// monitor and sender always agree.
+  constexpr std::uint32_t uniform_at(std::uint64_t index, std::uint32_t n) const {
+    return static_cast<std::uint32_t>(value_at(index) % n);
+  }
+
+  constexpr std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace manet::util

@@ -1,0 +1,48 @@
+// Fundamental scalar types shared across the library.
+//
+// Simulation time is an integer nanosecond count. Integer time makes event
+// ordering exact and reproducible across platforms; all protocol constants
+// (slot times, IFS durations, frame airtimes) are exact multiples of 1 us,
+// so nanoseconds give ample headroom for derived quantities.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace manet {
+
+/// Simulation time in nanoseconds since the start of the run.
+using SimTime = std::int64_t;
+
+/// Duration in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
+
+/// Converts a floating-point second count to SimTime (rounding to nearest ns).
+constexpr SimTime seconds_to_time(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/// Converts SimTime to floating-point seconds (for reporting only).
+constexpr double time_to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// A node identifier. Doubles as the IEEE MAC address in this library:
+/// the paper seeds each node's verifiable back-off PRNG with its MAC
+/// address, and a 64-bit id is a faithful stand-in for the 48-bit address.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// The broadcast MAC address: frames to it are delivered to every decoder
+/// and are sent without RTS/CTS or ACK (802.11 group-addressed rules).
+inline constexpr NodeId kBroadcastNode = static_cast<NodeId>(-2);
+
+}  // namespace manet

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/aodv.hpp"
+#include "net/network.hpp"
+#include "phy/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet::net {
+namespace {
+
+// --- RouteTable unit tests ----------------------------------------------------
+
+TEST(RouteTable, LookupRespectsExpiry) {
+  RouteTable t;
+  t.update(5, Route{2, 1, 10, /*expires=*/1000});
+  EXPECT_TRUE(t.lookup(5, 500).has_value());
+  EXPECT_FALSE(t.lookup(5, 1000).has_value());
+  EXPECT_FALSE(t.lookup(6, 0).has_value());
+}
+
+TEST(RouteTable, FresherSequenceNumberWins) {
+  RouteTable t;
+  t.update(5, Route{2, 3, 10, 1000});
+  // Stale sequence number is rejected even with fewer hops.
+  EXPECT_FALSE(t.update(5, Route{3, 1, 9, 2000}));
+  EXPECT_EQ(t.lookup(5, 0)->next_hop, 2u);
+  // Fresher sequence wins even with more hops.
+  EXPECT_TRUE(t.update(5, Route{4, 7, 11, 2000}));
+  EXPECT_EQ(t.lookup(5, 0)->next_hop, 4u);
+}
+
+TEST(RouteTable, EqualSequenceShorterPathWins) {
+  RouteTable t;
+  t.update(5, Route{2, 4, 10, 1000});
+  EXPECT_TRUE(t.update(5, Route{3, 2, 10, 1000}));
+  EXPECT_EQ(t.lookup(5, 0)->hop_count, 2u);
+  // Equal seq, more hops via different neighbor: rejected.
+  EXPECT_FALSE(t.update(5, Route{6, 5, 10, 1000}));
+  // Same next hop refreshes.
+  EXPECT_TRUE(t.update(5, Route{3, 2, 10, 5000}));
+  EXPECT_TRUE(t.lookup(5, 4000).has_value());
+}
+
+TEST(RouteTable, SequenceWraparound) {
+  RouteTable t;
+  t.update(5, Route{2, 1, 0xFFFFFFF0u, 1000});
+  // Wrapped-around "newer" sequence (signed comparison).
+  EXPECT_TRUE(t.update(5, Route{3, 1, 5u, 1000}));
+  EXPECT_EQ(t.lookup(5, 0)->next_hop, 3u);
+}
+
+TEST(RouteTable, InvalidateVia) {
+  RouteTable t;
+  t.update(5, Route{2, 1, 1, 1000});
+  t.update(6, Route{2, 2, 1, 1000});
+  t.update(7, Route{3, 1, 1, 1000});
+  const auto affected = t.invalidate_via(2);
+  EXPECT_EQ(affected.size(), 2u);
+  EXPECT_FALSE(t.lookup(5, 0).has_value());
+  EXPECT_TRUE(t.lookup(7, 0).has_value());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+// --- MAC broadcast -------------------------------------------------------------
+
+TEST(Broadcast, GroupAddressedFrameReachesAllNeighborsWithoutHandshake) {
+  ScenarioConfig cfg;
+  cfg.grid_rows = 1;
+  cfg.grid_cols = 3;
+  cfg.num_flows = 0;
+  Network net(cfg);
+
+  net.mac(1).enqueue(kBroadcastNode, 64, 7);  // middle node broadcasts
+  net.run_until(seconds_to_time(1));
+
+  EXPECT_EQ(net.mac(1).stats().broadcasts_sent, 1u);
+  EXPECT_EQ(net.mac(1).stats().rts_sent, 0u);       // no RTS for broadcast
+  EXPECT_EQ(net.mac(0).stats().broadcasts_received, 1u);
+  EXPECT_EQ(net.mac(2).stats().broadcasts_received, 1u);
+  EXPECT_EQ(net.mac(0).stats().ack_sent, 0u);       // no ACK either
+}
+
+// --- AODV end to end ------------------------------------------------------------
+
+/// A 1xN line with 240 m spacing: only adjacent nodes can decode each
+/// other, so node 0 -> node N-1 requires N-2 forwarding hops.
+ScenarioConfig line(std::size_t n) {
+  ScenarioConfig cfg;
+  cfg.grid_rows = 1;
+  cfg.grid_cols = n;
+  cfg.num_flows = 0;
+  cfg.routing = RoutingKind::kAodv;
+  cfg.flow_pattern = FlowPattern::kAny;
+  cfg.area_width_m = 3000;
+  cfg.area_height_m = 500;
+  return cfg;
+}
+
+TEST(Aodv, TwoHopRouteDiscoveryAndDelivery) {
+  Network net(line(3));
+  net.add_flow(0, 2, 20);
+  const SimTime stop = seconds_to_time(5);
+  net.start_traffic(0, stop);
+  net.run_until(stop);
+
+  const AodvStats& origin = net.router(0)->stats();
+  const AodvStats& dest = net.router(2)->stats();
+  EXPECT_GT(origin.originated, 50u);
+  EXPECT_GT(dest.delivered, 50u);
+  // Nearly everything delivered (allow discovery transients).
+  EXPECT_GE(dest.delivered + 5, origin.originated);
+  EXPECT_GT(net.router(1)->stats().forwarded, 50u);
+  // Route at the origin points to the relay.
+  const auto route = net.router(0)->routes().lookup(2, net.simulator().now());
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->next_hop, 1u);
+  EXPECT_EQ(route->hop_count, 2u);
+}
+
+TEST(Aodv, LongChainDelivery) {
+  Network net(line(6));  // 5 hops
+  net.add_flow(0, 5, 10);
+  const SimTime stop = seconds_to_time(8);
+  net.start_traffic(0, stop);
+  net.run_until(stop);
+
+  EXPECT_GT(net.router(5)->stats().delivered, 40u);
+  const auto route = net.router(0)->routes().lookup(5, net.simulator().now());
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hop_count, 5u);
+}
+
+TEST(Aodv, RreqFloodIsDuplicateSuppressed) {
+  Network net(line(6));
+  net.add_flow(0, 5, 10);
+  net.start_traffic(0, seconds_to_time(2));
+  net.run_until(seconds_to_time(2));
+  // Each discovery floods each node at most once: total RREQ transmissions
+  // stay linear in node count (a couple of discoveries may run).
+  std::uint64_t rreqs = 0;
+  for (NodeId i = 0; i < net.size(); ++i) rreqs += net.router(i)->stats().rreq_sent;
+  EXPECT_LT(rreqs, 6u * 8u);
+}
+
+TEST(Aodv, UnreachableDestinationFailsCleanly) {
+  ScenarioConfig cfg = line(3);
+  cfg.grid_spacing_m = 700;  // neighbors beyond even sensing range
+  Network net(cfg);
+  net.add_flow(0, 2, 10);
+  net.start_traffic(0, seconds_to_time(3));
+  net.run_until(seconds_to_time(3));
+
+  const AodvStats& s = net.router(0)->stats();
+  EXPECT_EQ(net.router(2)->stats().delivered, 0u);
+  EXPECT_GT(s.discovery_failures, 0u);
+  EXPECT_GT(s.drops_no_route, 0u);
+}
+
+TEST(Aodv, GridCornerToCornerMultiHop) {
+  ScenarioConfig cfg;  // 7x8 grid
+  cfg.num_flows = 0;
+  cfg.routing = RoutingKind::kAodv;
+  cfg.flow_pattern = FlowPattern::kAny;
+  Network net(cfg);
+  net.add_flow(0, static_cast<NodeId>(net.size() - 1), 10);
+  const SimTime stop = seconds_to_time(8);
+  net.start_traffic(0, stop);
+  net.run_until(stop);
+
+  const auto& dest = *net.router(static_cast<NodeId>(net.size() - 1));
+  EXPECT_GT(dest.stats().delivered, 30u);
+  const auto route =
+      net.router(0)->routes().lookup(static_cast<NodeId>(net.size() - 1),
+                                     net.simulator().now());
+  ASSERT_TRUE(route.has_value());
+  // Corner to corner on a 7x8 grid of 240 m spacing needs >= 13 hops
+  // (Manhattan distance 6 + 7) since diagonals exceed the 250 m range.
+  EXPECT_GE(route->hop_count, 13u);
+}
+
+TEST(Aodv, LinkBreakTriggersRerrAndInvalidation) {
+  // Mobile relay: the middle node walks out of range mid-run.
+  struct JumpyMiddle : phy::PositionProvider {
+    geom::Vec2 position(NodeId node, SimTime at) const override {
+      if (node == 0) return {0, 0};
+      if (node == 2) return {480, 0};
+      // Node 1 relays at (240,0) until t=4s, then jumps far away.
+      return at < 4 * kSecond ? geom::Vec2{240, 0} : geom::Vec2{240, 2000};
+    }
+  };
+  // Build the pieces manually to inject the custom mobility.
+  sim::Simulator sim;
+  mac::DcfParams params;
+  phy::Propagation prop(phy::PropagationParams{}, 1);
+  JumpyMiddle positions;
+  phy::Channel channel(sim, prop, positions);
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  std::vector<std::unique_ptr<mac::DcfMac>> macs;
+  std::vector<std::unique_ptr<AodvRouter>> routers;
+  for (NodeId i = 0; i < 3; ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(i, channel));
+    macs.push_back(std::make_unique<mac::DcfMac>(sim, *radios.back(), params));
+    routers.push_back(std::make_unique<AodvRouter>(sim, *macs.back()));
+  }
+
+  // Stream 0 -> 2 via 1.
+  std::uint64_t id = 1;
+  std::function<void()> feeder = [&] {
+    routers[0]->submit(2, 512, id++);
+    if (sim.now() < 8 * kSecond) sim.after(100 * kMillisecond, feeder);
+  };
+  sim.at(0, feeder);
+  sim.run_until(8 * kSecond);
+
+  EXPECT_GT(routers[2]->stats().delivered, 20u);        // worked before the jump
+  EXPECT_GT(routers[0]->stats().drops_link_failure +
+                routers[0]->stats().drops_no_route +
+                routers[0]->stats().discovery_failures,
+            0u);                                        // failure was noticed
+  // The stale route via node 1 is gone.
+  const auto route = routers[0]->routes().lookup(2, sim.now());
+  EXPECT_FALSE(route.has_value());
+}
+
+TEST(Aodv, RandomMultiHopFlowsDeliverAcrossTheGrid) {
+  ScenarioConfig cfg;
+  cfg.num_flows = 10;
+  cfg.routing = RoutingKind::kAodv;
+  cfg.flow_pattern = FlowPattern::kAny;
+  cfg.packets_per_second = 2;
+  cfg.seed = 77;
+  Network net(cfg);
+  net.build_random_flows();
+  const SimTime stop = seconds_to_time(10);
+  net.start_traffic(0, stop);
+  net.run_until(stop);
+
+  std::uint64_t originated = 0, delivered = 0;
+  for (NodeId i = 0; i < net.size(); ++i) {
+    originated += net.router(i)->stats().originated;
+    delivered += net.router(i)->stats().delivered;
+  }
+  EXPECT_GT(originated, 100u);
+  // Multi-hop 802.11 chains self-interfere heavily (inter-flow and
+  // intra-flow collisions); a majority delivered is the realistic bar.
+  EXPECT_GT(static_cast<double>(delivered) / static_cast<double>(originated), 0.5);
+}
+
+}  // namespace
+}  // namespace manet::net

@@ -1,0 +1,175 @@
+// End-to-end tests of the full stack: Table-1 scenarios, the detection
+// experiment harness, and the paper's headline claims at reduced scale
+// (short runs, fixed seeds) so the suite stays fast.
+#include <gtest/gtest.h>
+
+#include "detect/experiment.hpp"
+#include "net/load.hpp"
+
+namespace manet::detect {
+namespace {
+
+net::ScenarioConfig fast_grid(double sim_seconds = 40) {
+  net::ScenarioConfig cfg;  // paper defaults: 7x8 grid etc.
+  cfg.sim_seconds = sim_seconds;
+  cfg.num_flows = 30;
+  cfg.seed = 21;
+  return cfg;
+}
+
+MonitorConfig grid_monitor(std::size_t sample_size = 10) {
+  MonitorConfig m;
+  m.sample_size = sample_size;
+  m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;  // paper Section 5
+  m.fixed_contenders = 20.0;
+  return m;
+}
+
+TEST(Integration, GridScenarioCarriesTraffic) {
+  DetectionConfig cfg;
+  cfg.scenario = fast_grid(20);
+  cfg.rate_pps = 15;
+  cfg.monitor = grid_monitor();
+  const DetectionResult r = run_detection_experiment(cfg);
+  EXPECT_GT(r.stats.rts_observed, 50u);
+  EXPECT_GT(r.stats.samples, 20u);
+  EXPECT_GT(r.measured_rho, 0.02);
+  EXPECT_LT(r.measured_rho, 0.98);
+}
+
+TEST(Integration, HonestNetworkHasLowFalseAlarmRate) {
+  DetectionConfig cfg;
+  cfg.scenario = fast_grid(60);
+  cfg.rate_pps = 15;
+  cfg.pm = 0;
+  cfg.monitor = grid_monitor(10);
+  const DetectionResult r = run_detection_trials(cfg, 3);
+  ASSERT_GT(r.windows, 20u);
+  // Paper: misdiagnosis < 1%. Allow slack for the small trial count.
+  EXPECT_LT(r.detection_rate, 0.05);
+}
+
+TEST(Integration, HeavyMisbehaviorIsDetectedReliably) {
+  DetectionConfig cfg;
+  cfg.scenario = fast_grid(40);
+  cfg.rate_pps = 15;
+  cfg.pm = 90;
+  cfg.monitor = grid_monitor(10);
+  const DetectionResult r = run_detection_experiment(cfg);
+  ASSERT_GT(r.windows, 10u);
+  EXPECT_GT(r.detection_rate, 0.75);
+}
+
+TEST(Integration, DetectionProbabilityIncreasesWithMisbehavior) {
+  auto rate_for = [](double pm) {
+    DetectionConfig cfg;
+    cfg.scenario = fast_grid(40);
+    cfg.rate_pps = 15;
+    cfg.pm = pm;
+    cfg.monitor = grid_monitor(10);
+    const DetectionResult r = run_detection_experiment(cfg);
+    return r.windows ? r.detection_rate : -1.0;
+  };
+  const double low = rate_for(20);
+  const double high = rate_for(85);
+  ASSERT_GE(low, 0.0);
+  ASSERT_GE(high, 0.0);
+  EXPECT_GE(high, low);
+  EXPECT_GT(high, 0.7);
+}
+
+TEST(Integration, LargerSampleSizeDetectsSubtlerMisbehavior) {
+  auto rate_for = [](std::size_t ss) {
+    DetectionConfig cfg;
+    cfg.scenario = fast_grid(90);
+    cfg.rate_pps = 15;
+    cfg.pm = 50;
+    cfg.monitor = grid_monitor(ss);
+    const DetectionResult r = run_detection_trials(cfg, 2);
+    return r.windows ? r.detection_rate : -1.0;
+  };
+  const double small = rate_for(10);
+  const double large = rate_for(50);
+  ASSERT_GE(small, 0.0);
+  ASSERT_GE(large, 0.0);
+  EXPECT_GE(large + 0.05, small);  // allow small-sample noise
+}
+
+TEST(Integration, CondProbExperimentProducesConsistentProbabilities) {
+  CondProbConfig cfg;
+  cfg.scenario = fast_grid();
+  cfg.rate_pps = 15;
+  cfg.warmup_s = 2;
+  cfg.measure_s = 20;
+  cfg.monitor = grid_monitor();
+  const CondProbResult r = run_cond_prob_experiment(cfg);
+  EXPECT_GT(r.measured_rho, 0.0);
+  EXPECT_LT(r.measured_rho, 1.0);
+  EXPECT_GE(r.sim_p_busy_given_idle, 0.0);
+  EXPECT_LE(r.sim_p_busy_given_idle, 1.0);
+  EXPECT_GE(r.sim_p_idle_given_busy, 0.0);
+  EXPECT_LE(r.sim_p_idle_given_busy, 1.0);
+  EXPECT_GT(r.ana_p_busy_given_idle, 0.0);
+  EXPECT_GT(r.ana_p_idle_given_busy, 0.0);
+}
+
+TEST(Integration, CondProbBusyGivenIdleGrowsWithLoad) {
+  auto at_rate = [](double rate) {
+    CondProbConfig cfg;
+    cfg.scenario = fast_grid();
+    cfg.rate_pps = rate;
+    cfg.warmup_s = 2;
+    cfg.measure_s = 20;
+    cfg.monitor = grid_monitor();
+    return run_cond_prob_experiment(cfg);
+  };
+  const auto lo = at_rate(4);
+  const auto hi = at_rate(40);
+  EXPECT_GT(hi.measured_rho, lo.measured_rho);
+  EXPECT_GT(hi.sim_p_busy_given_idle, lo.sim_p_busy_given_idle);
+  EXPECT_GT(hi.ana_p_busy_given_idle, lo.ana_p_busy_given_idle);
+}
+
+TEST(Integration, MobileScenarioStillDetects) {
+  DetectionConfig cfg;
+  cfg.scenario = fast_grid(60);
+  cfg.scenario.mobility = net::MobilityKind::kRandomWaypoint;
+  cfg.scenario.max_speed_mps = 20;
+  cfg.rate_pps = 15;
+  cfg.pm = 90;
+  cfg.monitor = grid_monitor(10);
+  cfg.mobile_handoff = true;
+  const DetectionResult r = run_detection_experiment(cfg);
+  ASSERT_GT(r.windows, 3u);
+  EXPECT_GT(r.detection_rate, 0.6);
+}
+
+TEST(Integration, RandomTopologyScenarioRuns) {
+  DetectionConfig cfg;
+  cfg.scenario = fast_grid(20);
+  cfg.scenario.topology = net::TopologyKind::kRandom;
+  cfg.scenario.traffic = net::TrafficKind::kCbr;
+  cfg.rate_pps = 15;
+  cfg.pm = 0;
+  MonitorConfig m;  // density-estimated counts for random layouts
+  m.sample_size = 10;
+  cfg.monitor = m;
+  const DetectionResult r = run_detection_experiment(cfg);
+  EXPECT_GT(r.stats.rts_observed, 10u);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  auto run = [] {
+    DetectionConfig cfg;
+    cfg.scenario = fast_grid(20);
+    cfg.rate_pps = 15;
+    cfg.pm = 40;
+    cfg.monitor = grid_monitor(10);
+    const DetectionResult r = run_detection_experiment(cfg);
+    return std::make_tuple(r.windows, r.flagged, r.stats.samples);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace manet::detect

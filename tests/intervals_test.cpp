@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "util/intervals.hpp"
+#include "util/rng.hpp"
+
+namespace manet::util {
+namespace {
+
+TEST(IntervalSet, EmptyAndDegenerateAdds) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.total_length(), 0);
+  s.add(5, 5);    // empty
+  s.add(9, 3);    // inverted
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, MergesOverlappingAndAdjacent) {
+  IntervalSet s;
+  s.add(0, 10);
+  s.add(5, 15);   // overlap
+  s.add(15, 20);  // adjacent
+  s.add(30, 40);  // disjoint
+  const auto& iv = s.intervals();
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_EQ(iv[0], (Interval{0, 20}));
+  EXPECT_EQ(iv[1], (Interval{30, 40}));
+  EXPECT_EQ(s.total_length(), 30);
+}
+
+TEST(IntervalSet, OrderIndependent) {
+  IntervalSet a, b;
+  a.add(0, 5);
+  a.add(10, 15);
+  a.add(3, 12);
+  b.add(3, 12);
+  b.add(10, 15);
+  b.add(0, 5);
+  EXPECT_EQ(a.intervals(), b.intervals());
+}
+
+TEST(IntervalSet, Clamped) {
+  IntervalSet s;
+  s.add(0, 10);
+  s.add(20, 30);
+  const IntervalSet c = s.clamped(5, 25);
+  ASSERT_EQ(c.intervals().size(), 2u);
+  EXPECT_EQ(c.intervals()[0], (Interval{5, 10}));
+  EXPECT_EQ(c.intervals()[1], (Interval{20, 25}));
+  EXPECT_TRUE(s.clamped(11, 19).empty());
+}
+
+TEST(IntervalSet, IntersectionLength) {
+  IntervalSet a, b;
+  a.add(0, 10);
+  a.add(20, 30);
+  b.add(5, 25);
+  EXPECT_EQ(a.intersection_length(b), 5 + 5);
+  EXPECT_EQ(b.intersection_length(a), 10);  // symmetric
+  IntervalSet empty;
+  EXPECT_EQ(a.intersection_length(empty), 0);
+}
+
+TEST(IntervalSet, ComplementWithin) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(30, 40);
+  const auto gaps = s.complement_within(0, 50);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], (Interval{0, 10}));
+  EXPECT_EQ(gaps[1], (Interval{20, 30}));
+  EXPECT_EQ(gaps[2], (Interval{40, 50}));
+
+  // Window fully covered: no gaps.
+  EXPECT_TRUE(s.complement_within(12, 18).empty());
+  // Window outside all intervals: one gap.
+  const auto outside = s.complement_within(100, 110);
+  ASSERT_EQ(outside.size(), 1u);
+  EXPECT_EQ(outside[0], (Interval{100, 110}));
+  // Interval overlapping window start.
+  const auto partial = s.complement_within(15, 35);
+  ASSERT_EQ(partial.size(), 1u);
+  EXPECT_EQ(partial[0], (Interval{20, 30}));
+}
+
+TEST(IntervalSet, MergeSets) {
+  IntervalSet a, b;
+  a.add(0, 10);
+  b.add(5, 20);
+  b.add(40, 50);
+  a.merge(b);
+  EXPECT_EQ(a.total_length(), 20 + 10);
+  ASSERT_EQ(a.intervals().size(), 2u);
+}
+
+TEST(IntervalSet, PropertyComplementPartitionsWindow) {
+  // For random interval sets, covered + gaps == window length exactly.
+  Xoshiro256ss rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    IntervalSet s;
+    for (int i = 0; i < 20; ++i) {
+      const SimTime lo = static_cast<SimTime>(rng.uniform_int(1000));
+      s.add(lo, lo + static_cast<SimTime>(rng.uniform_int(80)));
+    }
+    const SimTime w0 = 100, w1 = 900;
+    SimDuration gap_total = 0;
+    for (const Interval& g : s.complement_within(w0, w1)) {
+      gap_total += g.length();
+      // Gaps must not intersect the set.
+      IntervalSet gset;
+      gset.add(g.lo, g.hi);
+      EXPECT_EQ(s.intersection_length(gset), 0);
+    }
+    EXPECT_EQ(gap_total + s.clamped(w0, w1).total_length(), w1 - w0);
+  }
+}
+
+TEST(IntervalSet, PropertyInclusionExclusion) {
+  // |A| + |B| == |A ∪ B| + |A ∩ B| for random sets.
+  Xoshiro256ss rng(78);
+  for (int trial = 0; trial < 200; ++trial) {
+    IntervalSet a, b;
+    for (int i = 0; i < 10; ++i) {
+      SimTime lo = static_cast<SimTime>(rng.uniform_int(500));
+      a.add(lo, lo + static_cast<SimTime>(rng.uniform_int(60)));
+      lo = static_cast<SimTime>(rng.uniform_int(500));
+      b.add(lo, lo + static_cast<SimTime>(rng.uniform_int(60)));
+    }
+    IntervalSet u = a;
+    u.merge(b);
+    EXPECT_EQ(a.total_length() + b.total_length(),
+              u.total_length() + a.intersection_length(b));
+  }
+}
+
+}  // namespace
+}  // namespace manet::util

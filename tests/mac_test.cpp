@@ -1,0 +1,596 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mac/backoff.hpp"
+#include "mac/dcf.hpp"
+#include "mac/frame.hpp"
+#include "mac/params.hpp"
+#include "phy/channel.hpp"
+#include "phy/propagation.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet::mac {
+namespace {
+
+TEST(DcfParams, ContentionWindowDoublesAndSaturates) {
+  DcfParams p;
+  EXPECT_EQ(p.cw_for_attempt(1), 31u);
+  EXPECT_EQ(p.cw_for_attempt(2), 63u);
+  EXPECT_EQ(p.cw_for_attempt(3), 127u);
+  EXPECT_EQ(p.cw_for_attempt(4), 255u);
+  EXPECT_EQ(p.cw_for_attempt(5), 511u);
+  EXPECT_EQ(p.cw_for_attempt(6), 1023u);
+  EXPECT_EQ(p.cw_for_attempt(7), 1023u);   // saturated at CWmax
+  EXPECT_EQ(p.cw_for_attempt(20), 1023u);
+}
+
+TEST(DcfParams, AirtimesIncludePlcpOverhead) {
+  DcfParams p;
+  // RTS: 38 bytes at 1 Mb/s = 304 us + 192 us preamble.
+  EXPECT_EQ(p.rts_airtime(), (192 + 304) * kMicrosecond);
+  EXPECT_EQ(p.cts_airtime(), (192 + 112) * kMicrosecond);
+  EXPECT_EQ(p.ack_airtime(), (192 + 112) * kMicrosecond);
+  // DATA: (512+28) bytes at 2 Mb/s = 2160 us + 192 us preamble.
+  EXPECT_EQ(p.data_airtime(512), (192 + 2160) * kMicrosecond);
+  EXPECT_EQ(p.eifs(), p.sifs + p.ack_airtime() + p.difs);
+  EXPECT_GT(p.response_timeout(p.cts_airtime()), p.sifs + p.cts_airtime());
+}
+
+TEST(Frame, NavChainingFollowsTheStandard) {
+  DcfParams p;
+  const Frame data = make_data(1, 2, 512, 77, p);
+  const Frame rts = make_rts(1, 2, data, 5, 1, p);
+  const Frame cts = make_cts(2, rts, p);
+  const Frame ack = make_ack(2, data);
+
+  // RTS reserves through CTS + DATA + ACK + 3 SIFS.
+  EXPECT_EQ(rts.duration, 3 * p.sifs + p.cts_airtime() + p.data_airtime(512) +
+                              p.ack_airtime());
+  // Each response shrinks the reservation by one SIFS + its own airtime.
+  EXPECT_EQ(cts.duration, rts.duration - p.sifs - p.cts_airtime());
+  EXPECT_EQ(data.duration, p.sifs + p.ack_airtime());
+  EXPECT_EQ(ack.duration, 0);
+  EXPECT_EQ(rts.receiver, 2u);
+  EXPECT_EQ(cts.receiver, 1u);
+  EXPECT_EQ(rts.seq_off, 5u);
+  EXPECT_EQ(rts.attempt, 1);
+}
+
+TEST(Frame, PayloadDigestIdentifiesContents) {
+  const auto d1 = payload_digest(1, 100, 512);
+  EXPECT_EQ(payload_digest(1, 100, 512), d1);   // deterministic
+  EXPECT_NE(payload_digest(1, 101, 512), d1);   // different payload
+  EXPECT_NE(payload_digest(2, 100, 512), d1);   // different source
+  EXPECT_NE(payload_digest(1, 100, 256), d1);   // different size
+}
+
+TEST(VerifiableBackoff, DictatedValuesAreBoundedByAttemptWindow) {
+  DcfParams p;
+  VerifiableBackoff prs(42, p);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_LE(prs.dictated_slots(i, 1), 31u);
+    EXPECT_LE(prs.dictated_slots(i, 3), 127u);
+    EXPECT_LE(prs.dictated_slots(i, 9), 1023u);
+  }
+}
+
+TEST(VerifiableBackoff, MonitorReproducesSenderSequence) {
+  DcfParams p;
+  VerifiableBackoff sender(7, p);
+  VerifiableBackoff monitor_copy(7, p);  // monitor knows S's MAC address
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(monitor_copy.dictated_slots(i, 1), sender.dictated_slots(i, 1));
+  }
+  VerifiableBackoff other(8, p);
+  int same = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    same += other.dictated_slots(i, 1) == sender.dictated_slots(i, 1);
+  }
+  EXPECT_LT(same, 30);  // different seeds, different sequences
+}
+
+TEST(VerifiableBackoff, SequenceOffsetWrapsAt13Bits) {
+  DcfParams p;
+  VerifiableBackoff prs(9, p);
+  EXPECT_EQ(prs.dictated_slots(0, 1), prs.dictated_slots(8192, 1));
+  EXPECT_EQ(prs.dictated_slots(123, 2), prs.dictated_slots(8192 + 123, 2));
+}
+
+TEST(BackoffPolicies, PercentMisbehaviorScalesDictatedValue) {
+  BackoffContext ctx;
+  ctx.dictated_slots = 20;
+
+  PercentMisbehavior honest_like(0);
+  EXPECT_EQ(honest_like.used_slots(ctx), 20u);
+  PercentMisbehavior half(50);
+  EXPECT_EQ(half.used_slots(ctx), 10u);
+  PercentMisbehavior total(100);
+  EXPECT_EQ(total.used_slots(ctx), 0u);
+  PercentMisbehavior pm65(65);
+  EXPECT_EQ(pm65.used_slots(ctx), 7u);  // 20 * 0.35 = 7
+
+  HonestBackoff honest;
+  EXPECT_EQ(honest.used_slots(ctx), 20u);
+}
+
+TEST(BackoffPolicies, ConstantAndNoExponential) {
+  BackoffContext ctx;
+  ctx.dictated_slots = 500;
+  ctx.raw_prs_value = 0xDEADBEEF;
+  ctx.attempt = 4;
+
+  ConstantBackoff constant(3);
+  EXPECT_EQ(constant.used_slots(ctx), 3u);
+
+  NoExponentialBackoff no_exp(31);
+  EXPECT_LE(no_exp.used_slots(ctx), 31u);
+  EXPECT_EQ(no_exp.used_slots(ctx), 0xDEADBEEF % 32);
+}
+
+TEST(AnnouncePolicies, HonestAndCheatingFields) {
+  AnnounceContext ctx{17, 3};
+  HonestAnnounce honest;
+  EXPECT_EQ(honest.announced(ctx).seq_off, 17u);
+  EXPECT_EQ(honest.announced(ctx).attempt, 3u);
+
+  StuckAttemptAnnounce stuck;
+  EXPECT_EQ(stuck.announced(ctx).attempt, 1u);
+  EXPECT_EQ(stuck.announced(ctx).seq_off, 17u);
+
+  FrozenSeqOffAnnounce frozen(4);
+  EXPECT_EQ(frozen.announced(ctx).seq_off, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// DCF end-to-end on a bare PHY.
+
+struct FixedPositions : phy::PositionProvider {
+  explicit FixedPositions(std::vector<geom::Vec2> p) : pos(std::move(p)) {}
+  std::vector<geom::Vec2> pos;
+  geom::Vec2 position(NodeId node, SimTime) const override { return pos.at(node); }
+};
+
+struct CountingListener : MacListener {
+  int delivered = 0, sent = 0, dropped = 0;
+  DropReason last_reason = DropReason::kQueueFull;
+  void on_delivered(const Frame&, SimTime) override { ++delivered; }
+  void on_sent(const Frame&, SimTime) override { ++sent; }
+  void on_dropped(const Frame&, DropReason r) override {
+    ++dropped;
+    last_reason = r;
+  }
+};
+
+struct FrameLog : MacObserver {
+  struct Entry {
+    Frame frame;
+    SimTime start, end;
+  };
+  std::vector<Entry> entries;
+  void on_frame(const Frame& f, SimTime s, SimTime e) override {
+    entries.push_back({f, s, e});
+  }
+};
+
+struct MacFixture {
+  explicit MacFixture(std::vector<geom::Vec2> layout)
+      : prop(phy::PropagationParams{}, 3), positions(std::move(layout)),
+        channel(sim, prop, positions) {
+    for (NodeId i = 0; i < positions.pos.size(); ++i) {
+      radios.push_back(std::make_unique<phy::Radio>(i, channel));
+      macs.push_back(std::make_unique<DcfMac>(sim, *radios.back(), params));
+      listeners.push_back(std::make_unique<CountingListener>());
+      macs.back()->set_listener(listeners.back().get());
+    }
+  }
+
+  sim::Simulator sim;
+  DcfParams params;
+  phy::Propagation prop;
+  FixedPositions positions;
+  phy::Channel channel;
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  std::vector<std::unique_ptr<DcfMac>> macs;
+  std::vector<std::unique_ptr<CountingListener>> listeners;
+};
+
+TEST(Dcf, SinglePacketFourWayHandshake) {
+  MacFixture f({{0, 0}, {200, 0}});
+  FrameLog log;
+  f.macs[1]->add_observer(&log);
+
+  EXPECT_TRUE(f.macs[0]->enqueue(1, 512, 1001));
+  f.sim.run_until(1 * kSecond);
+
+  EXPECT_EQ(f.listeners[1]->delivered, 1);
+  EXPECT_EQ(f.listeners[0]->sent, 1);
+  EXPECT_EQ(f.macs[0]->stats().rts_sent, 1u);
+  EXPECT_EQ(f.macs[0]->stats().data_sent, 1u);
+  EXPECT_EQ(f.macs[0]->stats().packets_acked, 1u);
+  EXPECT_EQ(f.macs[1]->stats().cts_sent, 1u);
+  EXPECT_EQ(f.macs[1]->stats().ack_sent, 1u);
+  EXPECT_EQ(f.macs[1]->stats().packets_delivered, 1u);
+
+  // Observer at node 1 saw RTS, DATA from node 0 and its own CTS, ACK.
+  ASSERT_EQ(log.entries.size(), 4u);
+  EXPECT_EQ(log.entries[0].frame.type, FrameType::kRts);
+  EXPECT_EQ(log.entries[1].frame.type, FrameType::kCts);
+  EXPECT_EQ(log.entries[2].frame.type, FrameType::kData);
+  EXPECT_EQ(log.entries[3].frame.type, FrameType::kAck);
+  // SIFS gaps between the exchange frames.
+  EXPECT_EQ(log.entries[1].start, log.entries[0].end + f.params.sifs);
+  EXPECT_EQ(log.entries[2].start, log.entries[1].end + f.params.sifs);
+  EXPECT_EQ(log.entries[3].start, log.entries[2].end + f.params.sifs);
+}
+
+TEST(Dcf, FirstTransmissionWaitsDifsPlusDictatedBackoff) {
+  MacFixture f({{0, 0}, {200, 0}});
+  FrameLog log;
+  f.macs[1]->add_observer(&log);
+
+  const SimTime enqueue_at = 10 * kMillisecond;
+  f.sim.at(enqueue_at, [&] { f.macs[0]->enqueue(1, 512, 1); });
+  f.sim.run_until(1 * kSecond);
+
+  ASSERT_FALSE(log.entries.empty());
+  const auto& rts = log.entries[0];
+  ASSERT_EQ(rts.frame.type, FrameType::kRts);
+  const std::uint32_t dictated = f.macs[0]->prs().dictated_slots(rts.frame.seq_off, 1);
+  EXPECT_EQ(rts.start,
+            enqueue_at + f.params.difs + dictated * f.params.slot_time);
+  EXPECT_EQ(rts.frame.seq_off, 0u);
+  EXPECT_EQ(rts.frame.attempt, 1);
+  EXPECT_EQ(rts.frame.data_digest, payload_digest(0, 1, 512));
+}
+
+TEST(Dcf, HonestNodeConsumesSequentialSeqOffsets) {
+  MacFixture f({{0, 0}, {200, 0}});
+  FrameLog log;
+  f.macs[1]->add_observer(&log);
+
+  for (int i = 0; i < 5; ++i) f.macs[0]->enqueue(1, 512, 100 + i);
+  f.sim.run_until(2 * kSecond);
+
+  std::vector<std::uint32_t> offsets;
+  for (const auto& e : log.entries) {
+    if (e.frame.type == FrameType::kRts) offsets.push_back(e.frame.seq_off);
+  }
+  ASSERT_EQ(offsets.size(), 5u);
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    EXPECT_EQ(offsets[i], i);
+  }
+  EXPECT_EQ(f.listeners[1]->delivered, 5);
+}
+
+TEST(Dcf, CtsTimeoutTriggersRetriesWithGrowingWindowThenDrop) {
+  // Destination 600 m away: RTS inaudible, CTS never comes.
+  MacFixture f({{0, 0}, {600, 0}});
+  FrameLog log;
+  f.macs[1]->add_observer(&log);
+
+  f.macs[0]->enqueue(1, 512, 1);
+  f.sim.run_until(5 * kSecond);
+
+  EXPECT_EQ(f.macs[0]->stats().rts_sent, f.params.retry_limit);
+  EXPECT_EQ(f.macs[0]->stats().retries, f.params.retry_limit - 1);
+  EXPECT_EQ(f.macs[0]->stats().retry_drops, 1u);
+  EXPECT_EQ(f.listeners[0]->dropped, 1);
+  EXPECT_EQ(f.listeners[0]->last_reason, DropReason::kRetryLimit);
+  EXPECT_FALSE(f.macs[0]->busy_with_packet());
+}
+
+TEST(Dcf, AttemptNumberIncrementsOnRetries) {
+  // Three nodes in a line; node 2 jams node 1 sporadically? Simpler: use an
+  // out-of-range destination and a third in-range observer that logs the
+  // retry RTSes.
+  MacFixture f({{0, 0}, {600, 0}, {200, 0}});
+  FrameLog log;
+  f.macs[2]->add_observer(&log);
+
+  f.macs[0]->enqueue(1, 512, 1);
+  f.sim.run_until(5 * kSecond);
+
+  std::vector<int> attempts;
+  std::vector<std::uint32_t> offsets;
+  for (const auto& e : log.entries) {
+    if (e.frame.type == FrameType::kRts && e.frame.transmitter == 0) {
+      attempts.push_back(e.frame.attempt);
+      offsets.push_back(e.frame.seq_off);
+    }
+  }
+  ASSERT_EQ(attempts.size(), f.params.retry_limit);
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    EXPECT_EQ(attempts[i], static_cast<int>(i + 1));
+    EXPECT_EQ(offsets[i], i);  // every retry consumes a fresh offset
+  }
+}
+
+TEST(Dcf, QueueCapacityEnforced) {
+  MacFixture f({{0, 0}, {200, 0}});
+  int accepted = 0;
+  for (int i = 0; i < 60; ++i) accepted += f.macs[0]->enqueue(1, 512, i);
+  // One packet goes into service immediately; 50 wait in the queue.
+  EXPECT_EQ(accepted, 51);
+  EXPECT_EQ(f.macs[0]->stats().queue_drops, 9u);
+  EXPECT_EQ(f.macs[0]->queue_length(), 50u);
+}
+
+TEST(Dcf, NavDefersThirdPartyDuringExchange) {
+  // Nodes 0 and 1 exchange; node 2 is within range of both and must defer.
+  MacFixture f({{0, 0}, {200, 0}, {100, 170}});
+  FrameLog log;
+  f.macs[1]->add_observer(&log);
+
+  f.macs[0]->enqueue(1, 512, 1);
+  // Node 2 gets a packet for node 0 while the exchange is on the air.
+  f.sim.at(1 * kMillisecond, [&] { f.macs[2]->enqueue(0, 512, 2); });
+  f.sim.run_until(2 * kSecond);
+
+  EXPECT_EQ(f.listeners[1]->delivered, 1);
+  EXPECT_EQ(f.listeners[0]->delivered, 1);
+  // No retries should have been needed: NAV prevented any collision.
+  EXPECT_EQ(f.macs[0]->stats().retries, 0u);
+  EXPECT_EQ(f.macs[2]->stats().retries, 0u);
+
+  // Node 2's RTS starts only after node 0's exchange completed.
+  SimTime exchange_end = 0;
+  SimTime node2_rts = 0;
+  for (const auto& e : log.entries) {
+    if (e.frame.type == FrameType::kAck && e.frame.receiver == 0) {
+      exchange_end = e.end;
+    }
+  }
+  MacFixture* fp = &f;  // silence unused warning paths
+  (void)fp;
+  // Find node 2's RTS in node 1's log (node 1 hears it at ~196 m... node 2
+  // is at (100,170): 197 m from both 0 and 1 — decodable).
+  for (const auto& e : log.entries) {
+    if (e.frame.type == FrameType::kRts && e.frame.transmitter == 2) {
+      node2_rts = e.start;
+    }
+  }
+  ASSERT_GT(exchange_end, 0);
+  ASSERT_GT(node2_rts, 0);
+  EXPECT_GE(node2_rts, exchange_end + f.params.difs);
+}
+
+TEST(Dcf, PercentMisbehaviorShortensAccessDelay) {
+  // Two identical setups; one sender fully misbehaves (PM=100).
+  auto run_one = [](bool misbehave) {
+    MacFixture f({{0, 0}, {200, 0}});
+    if (misbehave) {
+      f.macs[0]->set_backoff_policy(std::make_unique<PercentMisbehavior>(100.0));
+    }
+    FrameLog log;
+    f.macs[1]->add_observer(&log);
+    f.macs[0]->enqueue(1, 512, 1);
+    f.sim.run_until(1 * kSecond);
+    return log.entries.at(0).start;
+  };
+
+  // Seeded PRS for node 0, offset 0, attempt 1 — find a seed-independent
+  // truth: misbehaving access happens exactly at DIFS.
+  DcfParams params;
+  EXPECT_EQ(run_one(true), params.difs);
+  EXPECT_GE(run_one(false), params.difs);
+}
+
+TEST(Dcf, TwoContendersBothEventuallySucceed) {
+  MacFixture f({{0, 0}, {200, 0}, {100, 170}});
+  for (int i = 0; i < 20; ++i) {
+    f.macs[0]->enqueue(1, 512, 1000 + i);
+    f.macs[2]->enqueue(1, 512, 2000 + i);
+  }
+  f.sim.run_until(10 * kSecond);
+  EXPECT_EQ(f.listeners[0]->sent, 20);
+  EXPECT_EQ(f.listeners[2]->sent, 20);
+  EXPECT_EQ(f.listeners[1]->delivered, 40);
+}
+
+TEST(Dcf, MisbehaverStarvesHonestContender) {
+  // Head-to-head saturation: a PM=95 attacker and an honest node both
+  // saturate toward the same receiver; the attacker should win far more
+  // airtime (the DoS effect motivating the paper).
+  MacFixture f({{0, 0}, {200, 0}, {100, 170}});
+  f.macs[0]->set_backoff_policy(std::make_unique<PercentMisbehavior>(95.0));
+  // Keep both contenders backlogged for the whole run.
+  std::uint64_t next_id = 1;
+  std::function<void()> refill = [&] {
+    for (int i = 0; i < 20; ++i) {
+      f.macs[0]->enqueue(1, 512, next_id++);
+      f.macs[2]->enqueue(1, 512, next_id++);
+    }
+    if (f.sim.now() < 5 * kSecond) f.sim.after(50 * kMillisecond, refill);
+  };
+  f.sim.at(0, refill);
+  f.sim.run_until(5 * kSecond);
+
+  const double attacker = static_cast<double>(f.listeners[0]->sent);
+  const double honest = static_cast<double>(f.listeners[2]->sent);
+  // The attacker grabs the channel almost every time; at PM=95 the honest
+  // contender can be starved outright (the DoS the paper motivates with).
+  EXPECT_GT(attacker, 200.0);
+  EXPECT_GT(attacker, 5.0 * std::max(honest, 1.0));
+}
+
+
+TEST(DcfParams, NavResetDelay) {
+  DcfParams p;
+  EXPECT_EQ(p.nav_reset_delay(), 2 * p.sifs + p.cts_airtime() + 2 * p.slot_time);
+}
+
+TEST(Dcf, NavResetRecoversFromDeadRtsReservation) {
+  // Node 0's RTS to an out-of-range destination reserves the medium for a
+  // full exchange in node 2's NAV. With the NAV-reset rule, node 2 must be
+  // able to transmit long before that reservation would have expired.
+  MacFixture f({{0, 0}, {600, 0}, {200, 0}});
+  FrameLog log;
+  f.macs[0]->add_observer(&log);  // node 0 hears node 2's RTS
+
+  f.macs[0]->enqueue(1, 512, 1);   // doomed exchange, NAV pollution only
+  f.sim.at(600 * kMicrosecond, [&] { f.macs[2]->enqueue(0, 512, 2); });
+  f.sim.run_until(3 * kSecond);
+
+  // Find node 2's first RTS. Without NAV reset it would start only after
+  // node 0's first RTS duration (~3.4 ms of NAV) plus contention; with the
+  // reset it starts much earlier.
+  SimTime first_rts2 = 0;
+  SimTime first_rts0_end = 0;
+  for (const auto& e : log.entries) {
+    if (e.frame.type == FrameType::kRts && e.frame.transmitter == 2 &&
+        first_rts2 == 0) {
+      first_rts2 = e.start;
+    }
+  }
+  // Node 0's own RTS is not in its observer log start..; reconstruct:
+  // its first RTS ended at most difs + CWmin slots + airtime after t=0.
+  first_rts0_end = f.params.difs + 31 * f.params.slot_time + f.params.rts_airtime();
+  ASSERT_GT(first_rts2, 0);
+  const Frame dummy_data = make_data(0, 1, 512, 1, f.params);
+  const Frame dummy_rts = make_rts(0, 1, dummy_data, 0, 1, f.params);
+  // NAV reset bound: reset delay + DIFS + full CWmin back-off + slack is
+  // still far less than the stale reservation (dummy_rts.duration ~ 3.4 ms).
+  EXPECT_LT(first_rts2, first_rts0_end + f.params.nav_reset_delay() +
+                            f.params.difs + 32 * f.params.slot_time +
+                            1 * kMillisecond);
+  EXPECT_GT(dummy_rts.duration, 2900 * kMicrosecond);  // sanity: reservation is long
+}
+
+TEST(Dcf, ReceiverDeclinesRtsWhileOwingAnExchange) {
+  // Node 1 is mid-exchange with node 0 when node 2's RTS arrives; node 1
+  // must not CTS node 2 until the first exchange completes, and both
+  // packets are still delivered eventually.
+  MacFixture f({{0, 0}, {200, 0}, {100, 170}});
+  f.macs[0]->enqueue(1, 512, 1);
+  // Node 2 cannot hear node 0 starting? It can (197 m). Force the overlap
+  // tighter: enqueue during the RTS itself.
+  f.sim.at(100 * kMicrosecond, [&] { f.macs[2]->enqueue(1, 512, 2); });
+  f.sim.run_until(3 * kSecond);
+  EXPECT_EQ(f.listeners[1]->delivered, 2);
+  EXPECT_EQ(f.macs[1]->stats().packets_delivered, 2u);
+}
+
+TEST(Dcf, RetryCheaterTimingMatchesItsAnnouncement) {
+  // NoExponentialBackoff + StuckAttemptAnnounce: the used back-off equals
+  // the dictated value for the *announced* attempt (1), so pure timing
+  // verification cannot distinguish it; the MD/attempt check must.
+  DcfParams params;
+  VerifiableBackoff prs(7, params);
+  NoExponentialBackoff policy(params.cw_min);
+  StuckAttemptAnnounce announce;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    BackoffContext ctx;
+    ctx.seq_index = i;
+    ctx.attempt = 1 + (i % 6);
+    ctx.raw_prs_value = prs.raw_value(i);
+    ctx.dictated_slots = prs.dictated_slots(i, ctx.attempt);
+    const auto announced = announce.announced({i, ctx.attempt});
+    EXPECT_EQ(policy.used_slots(ctx),
+              prs.dictated_slots(announced.seq_off, announced.attempt));
+  }
+}
+
+
+TEST(Dcf, BroadcastAndUnicastInterleaveCleanly) {
+  MacFixture f({{0, 0}, {200, 0}, {100, 170}});
+  f.macs[0]->enqueue(kBroadcastNode, 64, 1);
+  f.macs[0]->enqueue(1, 512, 2);
+  f.macs[0]->enqueue(kBroadcastNode, 64, 3);
+  f.macs[0]->enqueue(2, 512, 4);
+  f.sim.run_until(2 * kSecond);
+
+  EXPECT_EQ(f.macs[0]->stats().broadcasts_sent, 2u);
+  EXPECT_EQ(f.macs[0]->stats().packets_acked, 4u);  // all four completed
+  EXPECT_EQ(f.listeners[1]->delivered, 3);  // 2 broadcasts + 1 unicast
+  EXPECT_EQ(f.listeners[2]->delivered, 3);
+  // Unicasts used RTS; broadcasts did not.
+  EXPECT_EQ(f.macs[0]->stats().rts_sent, 2u);
+}
+
+TEST(Dcf, EnqueueFramePreservesL3Header) {
+  MacFixture f({{0, 0}, {200, 0}});
+  Frame data = make_data(0, 1, 256, 99, f.params);
+  data.l3 = L3Type::kAodvRrep;
+  data.net_source = 7;
+  data.net_destination = 9;
+  data.aodv.hop_count = 3;
+
+  struct Capture : MacListener {
+    Frame last;
+    void on_delivered(const Frame& d, SimTime) override { last = d; }
+    void on_sent(const Frame&, SimTime) override {}
+    void on_dropped(const Frame&, DropReason) override {}
+  } capture;
+  f.macs[1]->set_listener(&capture);
+
+  EXPECT_TRUE(f.macs[0]->enqueue_frame(data));
+  f.sim.run_until(1 * kSecond);
+
+  EXPECT_EQ(capture.last.l3, L3Type::kAodvRrep);
+  EXPECT_EQ(capture.last.net_source, 7u);
+  EXPECT_EQ(capture.last.net_destination, 9u);
+  EXPECT_EQ(capture.last.aodv.hop_count, 3u);
+  EXPECT_EQ(capture.last.transmitter, 0u);  // overwritten by the MAC
+}
+
+TEST(Dcf, ContentionWindowResetsAfterSuccess) {
+  // Drive one packet through retries (unreachable), then a successful one:
+  // the successful packet's first attempt must announce Attempt# 1 again
+  // and draw from CWmin.
+  MacFixture f({{0, 0}, {600, 0}, {200, 0}});
+  FrameLog log;
+  f.macs[2]->add_observer(&log);
+
+  f.macs[0]->enqueue(1, 512, 1);  // fails: 600 m away
+  f.sim.run_until(3 * kSecond);
+  f.macs[0]->enqueue(2, 512, 2);  // succeeds: 200 m away
+  f.sim.run_until(5 * kSecond);
+
+  int max_attempt_seen = 0;
+  std::uint8_t last_attempt = 0;
+  for (const auto& e : log.entries) {
+    if (e.frame.type != FrameType::kRts || e.frame.transmitter != 0) continue;
+    max_attempt_seen = std::max<int>(max_attempt_seen, e.frame.attempt);
+    last_attempt = e.frame.attempt;
+  }
+  EXPECT_EQ(max_attempt_seen, static_cast<int>(f.params.retry_limit));
+  EXPECT_EQ(last_attempt, 1);  // fresh packet, fresh attempt counter
+  EXPECT_EQ(f.listeners[2]->delivered, 1);
+}
+
+TEST(Dcf, DuplicateDataIsAckedButDeliveredOnce) {
+  // Force a duplicate by losing the ACK: receiver at the edge of a hidden
+  // jammer is hard to set up deterministically, so test the dedup cache
+  // directly through two enqueues of the same payload identity.
+  MacFixture f({{0, 0}, {200, 0}});
+  f.macs[0]->enqueue(1, 512, 42);
+  f.sim.run_until(1 * kSecond);
+  f.macs[0]->enqueue(1, 512, 42);  // same payload id resent by the app
+  f.sim.run_until(2 * kSecond);
+
+  // MAC-level dedup: the second copy is ACKed but not delivered again.
+  EXPECT_EQ(f.macs[0]->stats().packets_acked, 2u);
+  EXPECT_EQ(f.macs[1]->stats().packets_delivered, 1u);
+  EXPECT_EQ(f.macs[1]->stats().duplicate_data, 1u);
+  EXPECT_EQ(f.listeners[1]->delivered, 1);
+}
+
+TEST(Dcf, PercentMisbehaviorZeroMatchesHonestTiming) {
+  auto first_rts_time = [](bool pm_zero) {
+    MacFixture f({{0, 0}, {200, 0}});
+    if (pm_zero) {
+      f.macs[0]->set_backoff_policy(std::make_unique<PercentMisbehavior>(0.0));
+    }
+    FrameLog log;
+    f.macs[1]->add_observer(&log);
+    f.macs[0]->enqueue(1, 512, 1);
+    f.sim.run_until(1 * kSecond);
+    return log.entries.at(0).start;
+  };
+  EXPECT_EQ(first_rts_time(false), first_rts_time(true));
+}
+
+}  // namespace
+}  // namespace manet::mac

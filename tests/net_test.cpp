@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/load.hpp"
+#include "net/mobility.hpp"
+#include "net/network.hpp"
+#include "net/scenario.hpp"
+#include "net/topology.hpp"
+#include "net/traffic.hpp"
+
+namespace manet::net {
+namespace {
+
+TEST(Topology, GridPlacesNodesOnLattice) {
+  const auto nodes = grid_topology(7, 8, 240.0, {100, 50});
+  ASSERT_EQ(nodes.size(), 56u);
+  EXPECT_EQ(nodes[0], (geom::Vec2{100, 50}));
+  EXPECT_EQ(nodes[1], (geom::Vec2{340, 50}));
+  EXPECT_EQ(nodes[8], (geom::Vec2{100, 290}));
+  EXPECT_EQ(nodes[55], (geom::Vec2{100 + 7 * 240.0, 50 + 6 * 240.0}));
+  // Grid neighbors at 240 m are within the 250 m tx range; diagonals not.
+  EXPECT_NEAR(geom::distance(nodes[0], nodes[1]), 240.0, 1e-9);
+  EXPECT_GT(geom::distance(nodes[0], nodes[9]), 250.0);
+}
+
+TEST(Topology, GridCenterIndexIsInterior) {
+  EXPECT_EQ(grid_center_index(7, 8), 3u * 8u + 4u);
+  EXPECT_EQ(grid_center_index(1, 1), 0u);
+}
+
+TEST(Topology, RandomConnectedIsConnected) {
+  // Connectivity at the 550 m sensing range (see Network for why 250 m
+  // would be hopeless at the paper's density).
+  util::Xoshiro256ss rng(5);
+  const auto nodes = random_connected_topology(112, 3000, 3000, 550, rng);
+  ASSERT_EQ(nodes.size(), 112u);
+  EXPECT_TRUE(is_connected(nodes, 550));
+  for (const auto& p : nodes) {
+    EXPECT_GE(p.x, 0);
+    EXPECT_LT(p.x, 3000);
+    EXPECT_GE(p.y, 0);
+    EXPECT_LT(p.y, 3000);
+  }
+}
+
+TEST(Topology, IsConnectedDetectsPartition) {
+  std::vector<geom::Vec2> nodes{{0, 0}, {100, 0}, {1000, 0}};
+  EXPECT_FALSE(is_connected(nodes, 250));
+  EXPECT_TRUE(is_connected(nodes, 950));
+  EXPECT_TRUE(is_connected({}, 1));
+}
+
+TEST(Topology, NeighborsWithin) {
+  const auto nodes = grid_topology(3, 3, 240.0);
+  const auto nbrs = neighbors_within(nodes, 4, 250.0);  // center of 3x3
+  EXPECT_EQ(nbrs.size(), 4u);  // the four lattice neighbors
+  const auto corner = neighbors_within(nodes, 0, 250.0);
+  EXPECT_EQ(corner.size(), 2u);
+}
+
+TEST(Mobility, StaticReturnsFixedPositions) {
+  StaticMobility m({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.position(0, 0), (geom::Vec2{1, 2}));
+  EXPECT_EQ(m.position(1, 99 * kSecond), (geom::Vec2{3, 4}));
+}
+
+TEST(Mobility, RandomWaypointStaysInFieldAndRespectsSpeed) {
+  RandomWaypointParams params;
+  params.width = 1000;
+  params.height = 800;
+  params.min_speed = 1.0;
+  params.max_speed = 20.0;
+  RandomWaypoint rwp({{500, 400}, {100, 100}}, params, 77);
+
+  geom::Vec2 prev0 = rwp.position(0, 0);
+  for (int t = 1; t <= 600; ++t) {
+    const geom::Vec2 p = rwp.position(0, t * kSecond);
+    EXPECT_GE(p.x, 0);
+    EXPECT_LE(p.x, 1000);
+    EXPECT_GE(p.y, 0);
+    EXPECT_LE(p.y, 800);
+    // One second apart: displacement bounded by max speed.
+    EXPECT_LE(geom::distance(prev0, p), params.max_speed + 1e-6);
+    prev0 = p;
+  }
+}
+
+TEST(Mobility, RandomWaypointIsDeterministicPerSeed) {
+  RandomWaypointParams params;
+  RandomWaypoint a({{0, 0}}, params, 5);
+  RandomWaypoint b({{0, 0}}, params, 5);
+  RandomWaypoint c({{0, 0}}, params, 6);
+  bool any_diff = false;
+  for (int t = 0; t < 100; ++t) {
+    const auto pa = a.position(0, t * kSecond);
+    EXPECT_EQ(pa, b.position(0, t * kSecond));
+    if (!(pa == c.position(0, t * kSecond))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Mobility, PauseHoldsNodeAtWaypoint) {
+  RandomWaypointParams params;
+  params.width = params.height = 100;  // short legs
+  params.min_speed = params.max_speed = 10.0;
+  params.pause = 50 * kSecond;
+  RandomWaypoint rwp({{50, 50}}, params, 3);
+  // With 100 m field and 10 m/s, a leg takes <= ~14 s, then 50 s pause:
+  // sample densely and require at least one long stationary stretch.
+  int stationary = 0;
+  geom::Vec2 prev = rwp.position(0, 0);
+  for (int t = 1; t < 300; ++t) {
+    const geom::Vec2 p = rwp.position(0, t * kSecond);
+    if (geom::distance(prev, p) < 1e-9) ++stationary;
+    prev = p;
+  }
+  EXPECT_GT(stationary, 100);
+}
+
+// ---------------------------------------------------------------------------
+
+ScenarioConfig small_grid() {
+  ScenarioConfig cfg;
+  cfg.topology = TopologyKind::kGrid;
+  cfg.grid_rows = 3;
+  cfg.grid_cols = 3;
+  cfg.num_flows = 4;
+  cfg.sim_seconds = 10;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Scenario, DeclaredDefaultsMatchTable1) {
+  util::Config c;
+  ScenarioConfig::declare(c);
+  const ScenarioConfig s = ScenarioConfig::from_config(c);
+  EXPECT_EQ(s.topology, TopologyKind::kGrid);
+  EXPECT_EQ(s.grid_rows * s.grid_cols, 56u);       // 56 nodes (grid)
+  EXPECT_EQ(s.random_nodes, 112u);                 // 112 nodes (random)
+  EXPECT_DOUBLE_EQ(s.area_width_m, 3000.0);        // 3000 m x 3000 m
+  EXPECT_DOUBLE_EQ(s.grid_spacing_m, 240.0);       // one-hop spacing
+  EXPECT_DOUBLE_EQ(s.prop.tx_range_m, 250.0);      // transmission range
+  EXPECT_DOUBLE_EQ(s.prop.cs_range_m, 550.0);      // sensing range
+  EXPECT_DOUBLE_EQ(s.max_speed_mps, 20.0);         // 0-20 m/s
+  EXPECT_EQ(s.payload_bytes, 512u);                // packet size
+  EXPECT_EQ(s.mac.queue_capacity, 50u);            // queue length
+  EXPECT_DOUBLE_EQ(s.sim_seconds, 300.0);          // simulation time
+}
+
+TEST(Scenario, ParsersRejectUnknownNames) {
+  EXPECT_THROW(parse_topology("ring"), std::invalid_argument);
+  EXPECT_THROW(parse_traffic("tcp"), std::invalid_argument);
+  EXPECT_THROW(parse_mobility("brownian"), std::invalid_argument);
+  EXPECT_EQ(parse_topology("random"), TopologyKind::kRandom);
+  EXPECT_EQ(parse_traffic("cbr"), TrafficKind::kCbr);
+  EXPECT_EQ(parse_mobility("rwp"), MobilityKind::kRandomWaypoint);
+}
+
+TEST(Network, BuildsGridWithCenterNode) {
+  ScenarioConfig cfg;
+  cfg.sim_seconds = 1;
+  Network net(cfg);
+  EXPECT_EQ(net.size(), 56u);
+  EXPECT_EQ(net.center_node(), 28u);
+  // The grid is centered in the 3000x3000 field.
+  const geom::Vec2 p0 = net.position_of(0, 0);
+  EXPECT_GT(p0.x, 0);
+  EXPECT_GT(p0.y, 0);
+  const auto nbrs = net.neighbors(net.center_node(), 250, 0);
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(Network, AddFlowValidatesEndpoints) {
+  Network net(small_grid());
+  EXPECT_THROW(net.add_flow(0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(net.add_flow(0, 99, 10), std::invalid_argument);
+  auto& flow = net.add_flow(0, 1, 10);
+  EXPECT_EQ(flow.source(), 0u);
+  EXPECT_EQ(flow.destination(), 1u);
+}
+
+TEST(Network, RandomFlowsHaveDistinctSourcesAndOneHopDests) {
+  Network net(small_grid());
+  net.build_random_flows();
+  EXPECT_GT(net.flow_count(), 0u);
+  EXPECT_LE(net.flow_count(), 4u);
+  std::set<NodeId> sources;
+  for (std::size_t i = 0; i < net.flow_count(); ++i) {
+    auto& f = net.flow(i);
+    EXPECT_TRUE(sources.insert(f.source()).second) << "duplicate source";
+    const double d = geom::distance(net.position_of(f.source(), 0),
+                                    net.position_of(f.destination(), 0));
+    EXPECT_LE(d, 250.0);
+  }
+}
+
+TEST(Network, TrafficFlowsEndToEnd) {
+  ScenarioConfig cfg = small_grid();
+  Network net(cfg);
+  net.add_flow(4, 1, 50);  // center -> top, 50 pkt/s
+  const SimTime stop = seconds_to_time(5);
+  net.start_traffic(0, stop);
+  net.run_until(stop);
+  EXPECT_GT(net.mac(1).stats().packets_delivered, 100u);
+  EXPECT_EQ(net.mac(4).stats().retry_drops, 0u);
+  // Busy fraction at the receiver is sane and nonzero.
+  const double busy = net.timeline(1).busy_fraction(0, stop);
+  EXPECT_GT(busy, 0.05);
+  EXPECT_LT(busy, 0.9);
+}
+
+TEST(Network, SameSeedReproducesExactly) {
+  auto run = [] {
+    ScenarioConfig cfg = small_grid();
+    Network net(cfg);
+    net.build_random_flows();
+    const SimTime stop = seconds_to_time(5);
+    net.start_traffic(0, stop);
+    net.run_until(stop);
+    std::uint64_t sig = 0;
+    for (NodeId i = 0; i < net.size(); ++i) {
+      sig = sig * 1315423911u + net.mac(i).stats().packets_delivered;
+      sig = sig * 1315423911u + net.mac(i).stats().rts_sent;
+    }
+    return sig;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Traffic, CbrGeneratesAtConfiguredRate) {
+  ScenarioConfig cfg = small_grid();
+  cfg.traffic = TrafficKind::kCbr;
+  Network net(cfg);
+  auto& flow = net.add_flow(0, 1, 40);
+  const SimTime stop = seconds_to_time(10);
+  net.start_traffic(0, stop);
+  net.run_until(stop);
+  EXPECT_NEAR(static_cast<double>(flow.generated()), 400.0, 5.0);
+}
+
+TEST(Traffic, PoissonGeneratesAtConfiguredMeanRate) {
+  ScenarioConfig cfg = small_grid();
+  cfg.traffic = TrafficKind::kPoisson;
+  Network net(cfg);
+  auto& flow = net.add_flow(0, 1, 40);
+  const SimTime stop = seconds_to_time(20);
+  net.start_traffic(0, stop);
+  net.run_until(stop);
+  // 800 expected, sd ~ 28.
+  EXPECT_NEAR(static_cast<double>(flow.generated()), 800.0, 110.0);
+}
+
+TEST(Load, MeasuredBusyFractionIncreasesWithRate) {
+  ScenarioConfig cfg = small_grid();
+  const auto setup = [](Network& net) { net.build_random_flows(); };
+  const double lo = measure_busy_fraction(cfg, 5, 4, setup, 1.0, 4.0);
+  const double hi = measure_busy_fraction(cfg, 80, 4, setup, 1.0, 4.0);
+  EXPECT_LT(lo, hi);
+  EXPECT_GT(hi, 0.2);
+}
+
+TEST(Load, CalibratorHitsTarget) {
+  ScenarioConfig cfg = small_grid();
+  const auto result = calibrate_load(cfg, 0.35, {}, 0.04, 10);
+  EXPECT_NEAR(result.measured_busy_fraction, 0.35, 0.08);
+  EXPECT_GT(result.packets_per_second, 0.0);
+}
+
+
+TEST(Traffic, SetDestinationRedirectsFuturePackets) {
+  ScenarioConfig cfg = small_grid();
+  Network net(cfg);
+  auto& flow = net.add_flow(4, 1, 50);
+  const SimTime stop = seconds_to_time(6);
+  net.start_traffic(0, stop);
+  net.run_until(seconds_to_time(3));
+  const auto delivered_1_before = net.mac(1).stats().packets_delivered;
+  flow.set_destination(3);
+  net.run_until(stop);
+
+  // Node 1 stops receiving; node 3 starts.
+  EXPECT_GT(delivered_1_before, 50u);
+  EXPECT_LE(net.mac(1).stats().packets_delivered, delivered_1_before + 2);
+  EXPECT_GT(net.mac(3).stats().packets_delivered, 50u);
+}
+
+TEST(Network, SinkRoutesThroughRouterWhenAodvEnabled) {
+  ScenarioConfig cfg = small_grid();
+  cfg.routing = RoutingKind::kAodv;
+  Network net(cfg);
+  EXPECT_NE(net.router(0), nullptr);
+  // Submitting via the sink reaches the router's counters.
+  net.sink(0).submit(1, 128, 5);
+  net.run_until(seconds_to_time(1));
+  EXPECT_EQ(net.router(0)->stats().originated, 1u);
+  EXPECT_EQ(net.router(1)->stats().delivered, 1u);
+}
+
+TEST(Network, NoRouterWithoutAodv) {
+  Network net(small_grid());
+  EXPECT_EQ(net.router(0), nullptr);
+}
+
+}  // namespace
+}  // namespace manet::net

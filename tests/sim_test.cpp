@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace manet::sim {
+namespace {
+
+TEST(EventQueue, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.schedule(5, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsDispatch) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(10, [&] { fired = true; });
+  q.schedule(20, [] {});
+  EXPECT_TRUE(q.pending(id));
+  q.cancel(id);
+  EXPECT_FALSE(q.pending(id));
+  while (!q.empty()) q.pop().fn();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeOnBogusIds) {
+  EventQueue q;
+  const EventId id = q.schedule(1, [] {});
+  q.cancel(id);
+  q.cancel(id);              // double cancel
+  q.cancel(kInvalidEvent);   // invalid
+  q.cancel(99999);           // never issued
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kTimeNever);
+}
+
+TEST(EventQueue, CancelAfterDispatchIsNoOp) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  q.pop().fn();   // dispatches a
+  q.cancel(a);    // must not disturb the remaining event
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 2);
+}
+
+TEST(EventQueue, SizeCountsOnlyLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(5, [] {});
+  q.schedule(6, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.at(100, [&] { times.push_back(sim.now()); });
+  sim.after(50, [&] { times.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{50, 100}));
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.dispatched_events(), 2u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(20, [&] { ++fired; });
+  sim.at(30, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(20), 2u);  // inclusive boundary
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run_until(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 100);  // clock advances even past last event
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.after(10, recurse);
+  };
+  sim.at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.at(100, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(50, [] {}), std::invalid_argument);
+  EXPECT_NO_THROW(sim.at(100, [] {}));  // "now" is allowed
+}
+
+TEST(Simulator, StopHaltsTheLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1, [&] { ++fired; });
+  sim.at(2, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.at(3, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  // A later run resumes with the remaining events.
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, CancelViaSimulator) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.pending(id));
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  SimTime last = -1;
+  bool monotone = true;
+  util::Xoshiro256ss rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const SimTime t = static_cast<SimTime>(rng.uniform_int(1000000));
+    sim.at(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.dispatched_events(), 20000u);
+}
+
+}  // namespace
+}  // namespace manet::sim
