@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification: plain build + tests, then the same suite under
+# AddressSanitizer + UBSan (-DMANET_SANITIZE=ON).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== ASan + UBSan build =="
+cmake -B build-asan -S . -DMANET_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "All checks passed."

@@ -38,6 +38,9 @@ void accumulate(MonitorStats& into, const MonitorStats& from) {
   into.skipped_no_anchor += from.skipped_no_anchor;
   into.skipped_long_window += from.skipped_long_window;
   into.skipped_queue_gap += from.skipped_queue_gap;
+  into.seq_off_resyncs += from.seq_off_resyncs;
+  into.frames_lost += from.frames_lost;
+  into.windows_discarded_impaired += from.windows_discarded_impaired;
 }
 
 }  // namespace

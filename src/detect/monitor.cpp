@@ -34,6 +34,7 @@ void Monitor::set_active(bool active) {
     anchor_.reset();
     own_cts_pending_ = false;
     last_seq_off_.reset();
+    last_rts_heard_.reset();
     last_digest_.reset();
     last_attempt_ = 0;
   }
@@ -96,6 +97,7 @@ void Monitor::on_frame(const mac::Frame& frame, SimTime start, SimTime end) {
   while (!decoded_.empty() && decoded_.front().nav_until < horizon) {
     decoded_.pop_front();
   }
+  while (decoded_.size() > config_.max_decoded_frames) decoded_.pop_front();
 
   const bool from_tagged = frame.transmitter == tagged_;
   const bool to_tagged = frame.receiver == tagged_;
@@ -152,18 +154,39 @@ void Monitor::handle_tagged_rts(const mac::Frame& rts, SimTime start) {
   const auto& params = mac_.params();
 
   bool deterministic_violation = false;
+  bool resynced = false;
 
   const std::uint64_t seq = unwrap_seq_off(rts.seq_off);
-  if (config_.deterministic_checks && config_.prs_aware) {
-    // SeqOff continuity: must advance by exactly one per RTS we hear.
-    // (Missed RTSes show up as jumps > 1; only non-advancing offsets are
-    // provable violations.)
-    if (last_seq_off_ && seq <= *last_seq_off_) {
+  if (config_.deterministic_checks && config_.prs_aware && last_seq_off_) {
+    // SeqOff continuity: an honest stream advances by exactly one per RTS.
+    if (seq <= *last_seq_off_) {
+      // Replayed / non-advancing offset: blatant violation.
       ++stats_.seq_off_violations;
       deterministic_violation = true;
+    } else if (const std::uint64_t gap = seq - *last_seq_off_ - 1; gap > 0) {
+      // Offsets were consumed that we never decoded. A bounded gap — or
+      // any gap across a recorded outage of our own radio — is lossy
+      // observation, not evidence: resynchronize the PRS position and
+      // write off the missed frames. Beyond the bound (with no outage to
+      // blame) the sender is skipping ahead in its PRS, which only pays
+      // off when cherry-picking small dictated values.
+      const bool outage_spanned =
+          last_rts_heard_ && timeline_.outage_time(*last_rts_heard_, start) > 0;
+      if (gap <= config_.max_seq_off_gap || outage_spanned) {
+        ++stats_.seq_off_resyncs;
+        stats_.frames_lost += gap;
+        resynced = true;
+      } else {
+        ++stats_.seq_off_violations;
+        deterministic_violation = true;
+      }
     }
+  }
+  if (config_.deterministic_checks && config_.prs_aware) {
     // Attempt/MD honesty: a retransmission of the same payload must
-    // increment the attempt number.
+    // increment the attempt number. Digest equality proves it is the same
+    // payload even across a gap; corrupted frames never get here (their
+    // FCS fails at the PHY), so a mangled digest cannot frame the sender.
     if (last_digest_ && rts.data_digest == *last_digest_ &&
         rts.attempt <= last_attempt_) {
       ++stats_.attempt_violations;
@@ -178,6 +201,7 @@ void Monitor::handle_tagged_rts(const mac::Frame& rts, SimTime start) {
   const std::optional<crypto::Md5Digest> prev_digest = last_digest_;
   const std::uint32_t prev_attempt = last_attempt_;
   last_seq_off_ = seq;
+  last_rts_heard_ = start;
   last_digest_ = rts.data_digest;
   last_attempt_ = rts.attempt;
 
@@ -188,13 +212,44 @@ void Monitor::handle_tagged_rts(const mac::Frame& rts, SimTime start) {
 
   if (!anchor_ || *anchor_ >= start || ambiguous_anchor) {
     ++stats_.skipped_no_anchor;
+    if (resynced) anchor_.reset();
     if (deterministic_violation) window_deterministic_flag_ = true;
     return;
   }
   const SimTime window_start = *anchor_;
   const SimDuration window = start - window_start;
+
+  if (resynced) {
+    // The anchor predates exchanges we never decoded, so the window spans
+    // S's unseen transmissions: as a Wilcoxon sample it is biased high and
+    // must be discarded. The impossible-back-off lower bound survives the
+    // bias — the whole window still caps how many slots S could have
+    // counted for the current attempt, missed frames included.
+    if (config_.deterministic_checks && config_.prs_aware) {
+      const double max_slots = static_cast<double>(window - params.difs) /
+                               static_cast<double>(params.slot_time);
+      if (expected > max_slots + 1.0) {
+        ++stats_.impossible_backoff;
+        deterministic_violation = true;
+      }
+    }
+    ++stats_.windows_discarded_impaired;
+    anchor_.reset();
+    if (deterministic_violation) window_deterministic_flag_ = true;
+    return;
+  }
+
   if (config_.max_window > 0 && window > config_.max_window) {
     ++stats_.skipped_long_window;
+    if (deterministic_violation) window_deterministic_flag_ = true;
+    return;
+  }
+
+  // A window overlapping an outage of our own radio measures deafness,
+  // not back-off (the timeline records silence we did not actually
+  // observe): discard it before any countdown accounting.
+  if (timeline_.outage_time(window_start, start) > 0) {
+    ++stats_.windows_discarded_impaired;
     if (deterministic_violation) window_deterministic_flag_ = true;
     return;
   }

@@ -4,7 +4,11 @@
 //
 //  DETERMINISTIC checks (immediate flags):
 //   * SeqOff continuity — each RTS must announce the previous offset + 1
-//     (mod 2^13); replaying or skipping offsets is a blatant violation.
+//     (mod 2^13). Replayed/backward offsets are blatant violations. Small
+//     forward gaps are attributed to frames the monitor failed to decode
+//     (lossy observation): the monitor resynchronizes its PRS position and
+//     discards the stale window. Only jumps beyond `max_seq_off_gap` —
+//     a cheater scanning ahead for favorable values — are violations.
 //   * Attempt/MD honesty — a retransmission (same MD5 digest) must carry a
 //     larger attempt number.
 //   * Impossible back-off — if the dictated back-off could not have been
@@ -113,6 +117,20 @@ struct MonitorConfig {
 
   bool deterministic_checks = true;
 
+  /// Largest forward SeqOff# gap (count of RTSes the monitor evidently
+  /// missed) attributed to lossy observation rather than misbehavior. A
+  /// tolerated gap *resynchronizes* the monitor's PRS position to the
+  /// announced offset (counted in `seq_off_resyncs`, and the stale window
+  /// is discarded); a gap beyond the bound is a deterministic violation —
+  /// a cheater skipping ahead to cherry-pick small dictated values. Gaps
+  /// spanning a recorded outage of the monitor's own radio resync
+  /// regardless of size (the monitor knows it was deaf).
+  std::uint32_t max_seq_off_gap = 64;
+
+  /// Hard cap on the decoded-frame history (entries); the age-based prune
+  /// usually keeps it far smaller, the cap bounds pathological bursts.
+  std::size_t max_decoded_frames = 4096;
+
   /// Baseline mode: pretend the paper's modification does not exist. The
   /// monitor then knows only the protocol's back-off *distribution*
   /// (uniform over [0, CW]), not the dictated values: the expected sample
@@ -146,6 +164,11 @@ struct MonitorStats {
   std::uint64_t skipped_no_anchor = 0;   // no usable window start
   std::uint64_t skipped_long_window = 0; // window exceeded max_window
   std::uint64_t skipped_queue_gap = 0;   // window failed the clean filter
+
+  // Degradation under impaired observation (lossy channel / outages).
+  std::uint64_t seq_off_resyncs = 0;     // tolerated gaps: PRS resynchronized
+  std::uint64_t frames_lost = 0;         // RTSes inferred missed (gap sizes)
+  std::uint64_t windows_discarded_impaired = 0;  // samples dropped: loss/outage
 };
 
 class Monitor : public mac::MacObserver {
@@ -180,6 +203,10 @@ class Monitor : public mac::MacObserver {
 
   /// All samples (only when config.record_samples).
   const std::vector<SampleRecord>& sample_log() const { return sample_log_; }
+
+  /// Decoded-frame history currently retained (memory diagnostics; bounded
+  /// by config.max_decoded_frames).
+  std::size_t decoded_retained() const { return decoded_.size(); }
 
   /// Fraction of completed windows that flagged S.
   double flag_rate() const;
@@ -241,6 +268,7 @@ class Monitor : public mac::MacObserver {
   /// sample is skipped.
   bool own_cts_pending_ = false;
   std::optional<std::uint64_t> last_seq_off_;  // unwrapped
+  std::optional<SimTime> last_rts_heard_;      // air start of the last RTS
   std::optional<crypto::Md5Digest> last_digest_;
   std::uint32_t last_attempt_ = 0;
 

@@ -31,6 +31,8 @@ std::string render_report(const Monitor& monitor) {
       "(%llu gap-filtered, %llu unanchored, %llu over-long)\n"
       "  deterministic: %llu impossible back-off, %llu SeqOff violations, "
       "%llu Attempt/MD violations\n"
+      "  degradation  : %llu PRS resyncs (%llu frames lost), "
+      "%llu impaired windows discarded\n"
       "  statistical  : %llu windows, %llu flagged (rate %.3f)\n"
       "  system state : traffic intensity %.3f\n"
       "  verdict      : %s\n",
@@ -43,6 +45,9 @@ std::string render_report(const Monitor& monitor) {
       static_cast<unsigned long long>(st.impossible_backoff),
       static_cast<unsigned long long>(st.seq_off_violations),
       static_cast<unsigned long long>(st.attempt_violations),
+      static_cast<unsigned long long>(st.seq_off_resyncs),
+      static_cast<unsigned long long>(st.frames_lost),
+      static_cast<unsigned long long>(st.windows_discarded_impaired),
       static_cast<unsigned long long>(st.windows),
       static_cast<unsigned long long>(st.flagged_windows), monitor.flag_rate(),
       monitor.traffic_intensity(), verdict_word(monitor).c_str());

@@ -161,6 +161,26 @@ class StuckAttemptAnnounce : public AnnouncePolicy {
   std::string name() const override { return "stuck_attempt"; }
 };
 
+/// Announces offsets ever further ahead of the true PRS position — the
+/// cherry-picking cheat the bounded-gap continuity check exists for: a
+/// cheater who may jump arbitrarily far could scan the public PRS for small
+/// dictated values. Each RTS announces `jump` more than continuity allows;
+/// jumps beyond MonitorConfig::max_seq_off_gap are deterministic
+/// violations, smaller ones are (mis)read as lossy observation.
+class SkipAheadAnnounce : public AnnouncePolicy {
+ public:
+  explicit SkipAheadAnnounce(std::uint64_t jump) : jump_(jump) {}
+  AnnouncedFields announced(const AnnounceContext& ctx) override {
+    cumulative_ += jump_;
+    return {ctx.seq_index + cumulative_, ctx.attempt};
+  }
+  std::string name() const override { return "skip_ahead_" + std::to_string(jump_); }
+
+ private:
+  std::uint64_t jump_;
+  std::uint64_t cumulative_ = 0;
+};
+
 /// Replays the same sequence offset forever (e.g. one known small value).
 /// Detected via the SeqOff continuity check.
 class FrozenSeqOffAnnounce : public AnnouncePolicy {

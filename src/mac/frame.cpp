@@ -85,4 +85,18 @@ Frame make_ack(NodeId from, const Frame& data) {
   return ack;
 }
 
+phy::PayloadPtr corrupt_rts_fields(const phy::PayloadPtr& original,
+                                   util::Xoshiro256ss& rng) {
+  const auto* frame = dynamic_cast<const Frame*>(original.get());
+  if (frame == nullptr || frame->type != FrameType::kRts) return original;
+  auto mangled = std::make_shared<Frame>(*frame);
+  // XOR with a nonzero delta guarantees the field actually changes; the
+  // 13-bit / 3-bit widths match the wire format (paper Fig. 2).
+  mangled->seq_off ^= static_cast<std::uint32_t>(1 + rng.uniform_int(8191));
+  mangled->attempt ^= static_cast<std::uint8_t>(1 + rng.uniform_int(7));
+  mangled->data_digest[rng.uniform_int(mangled->data_digest.size())] ^=
+      static_cast<std::uint8_t>(1 + rng.uniform_int(255));
+  return mangled;
+}
+
 }  // namespace manet::mac

@@ -15,6 +15,7 @@
 #include "crypto/md5.hpp"
 #include "mac/params.hpp"
 #include "phy/signal.hpp"
+#include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace manet::mac {
@@ -79,5 +80,14 @@ Frame make_cts(NodeId from, const Frame& rts, const DcfParams& params);
 Frame make_data(NodeId from, NodeId to, std::uint32_t payload_bytes,
                 std::uint64_t payload_id, const DcfParams& params);
 Frame make_ack(NodeId from, const Frame& data);
+
+/// Fault-injection corruptor (phy::FaultInjector::PayloadCorruptor): returns
+/// a copy of an RTS payload with mangled verifiable fields (SeqOff#,
+/// Attempt#, one digest byte). Non-RTS payloads are returned unchanged —
+/// their verifiable content is the digest match, which the RTS already
+/// covers. The result is always delivered with Signal::corrupted set, so
+/// receivers drop it at the FCS and the mangled fields are never parsed.
+phy::PayloadPtr corrupt_rts_fields(const phy::PayloadPtr& original,
+                                   util::Xoshiro256ss& rng);
 
 }  // namespace manet::mac

@@ -68,6 +68,15 @@ Network::Network(const ScenarioConfig& config)
   }
   has_flow_.assign(nodes_.size(), false);
 
+  // --- Channel impairments (after radios exist: install_faults schedules
+  // the outage toggles against attached radios) ---
+  if (config_.faults.enabled()) {
+    fault_injector_ = std::make_unique<phy::FaultInjector>(
+        config_.faults, util::mix64(config_.seed ^ 0xFA17Bu));
+    fault_injector_->set_corruptor(mac::corrupt_rts_fields);
+    channel_->install_faults(*fault_injector_);
+  }
+
   // --- L3 ---
   mac_sinks_.reserve(nodes_.size());
   for (auto& node : nodes_) {

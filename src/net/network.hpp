@@ -17,6 +17,7 @@
 #include "net/traffic.hpp"
 #include "phy/channel.hpp"
 #include "phy/cs_timeline.hpp"
+#include "phy/impairments.hpp"
 #include "phy/radio.hpp"
 #include "sim/simulator.hpp"
 
@@ -55,6 +56,9 @@ class Network {
   /// The node's AODV router (null unless config.routing == kAodv). With
   /// routing enabled the router owns the MAC's listener slot.
   AodvRouter* router(NodeId id) { return routers_.empty() ? nullptr : routers_.at(id).get(); }
+
+  /// The channel fault injector (null when config.faults is disabled).
+  phy::FaultInjector* fault_injector() { return fault_injector_.get(); }
 
   /// The sink traffic sources feed (router when routing is enabled,
   /// otherwise the MAC itself).
@@ -101,6 +105,7 @@ class Network {
   std::unique_ptr<phy::Propagation> propagation_;
   std::unique_ptr<phy::PositionProvider> mobility_;
   std::unique_ptr<phy::Channel> channel_;
+  std::unique_ptr<phy::FaultInjector> fault_injector_;  // null when disabled
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<AodvRouter>> routers_;     // empty unless AODV
   std::vector<std::unique_ptr<DirectMacSink>> mac_sinks_;

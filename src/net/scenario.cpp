@@ -31,6 +31,16 @@ void ScenarioConfig::declare(util::Config& c) {
   c.declare("routing", "none", "Routing: none (one-hop MAC) | aodv (Table 1)");
   c.declare("flow_pattern", "one_hop",
             "Flow destinations: one_hop (paper) | any (multi-hop, needs aodv)");
+  c.declare("fault_loss", "0", "I.i.d. per-delivery frame decode-failure probability");
+  c.declare("fault_corrupt", "0", "Per-delivery frame field-corruption probability");
+  c.declare("fault_ge", "false", "Enable Gilbert-Elliott bursty decode failures");
+  c.declare("fault_ge_p_gb", "0.05", "GE transition probability good -> bad");
+  c.declare("fault_ge_p_bg", "0.25", "GE transition probability bad -> good");
+  c.declare("fault_ge_loss_good", "0", "GE decode-failure probability in the good state");
+  c.declare("fault_ge_loss_bad", "1", "GE decode-failure probability in the bad state");
+  c.declare("fault_outages", "",
+            "Receiver outages: node:start_s:stop_s[,node:start_s:stop_s...]");
+  c.declare("fault_seed", "0", "Extra stream selector for the fault RNG");
 }
 
 ScenarioConfig ScenarioConfig::from_config(const util::Config& c) {
@@ -60,7 +70,49 @@ ScenarioConfig ScenarioConfig::from_config(const util::Config& c) {
   s.prop.shadowing_sigma_db = c.get_double("shadowing_sigma");
   s.routing = parse_routing(c.get("routing"));
   s.flow_pattern = parse_flow_pattern(c.get("flow_pattern"));
+  s.faults.loss_probability = c.get_double("fault_loss");
+  s.faults.corrupt_probability = c.get_double("fault_corrupt");
+  s.faults.gilbert_elliott = c.get_bool("fault_ge");
+  s.faults.ge_p_good_to_bad = c.get_double("fault_ge_p_gb");
+  s.faults.ge_p_bad_to_good = c.get_double("fault_ge_p_bg");
+  s.faults.ge_loss_good = c.get_double("fault_ge_loss_good");
+  s.faults.ge_loss_bad = c.get_double("fault_ge_loss_bad");
+  s.faults.outages = parse_outages(c.get("fault_outages"));
+  s.faults.seed = static_cast<std::uint64_t>(c.get_int("fault_seed"));
   return s;
+}
+
+std::vector<phy::FaultPlan::Outage> parse_outages(const std::string& spec) {
+  std::vector<phy::FaultPlan::Outage> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t c1 = item.find(':');
+    const std::size_t c2 = c1 == std::string::npos ? std::string::npos
+                                                   : item.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      throw std::invalid_argument("malformed outage (want node:start:stop): " + item);
+    }
+    phy::FaultPlan::Outage o;
+    try {
+      o.node = static_cast<NodeId>(std::stoul(item.substr(0, c1)));
+      const double start_s = std::stod(item.substr(c1 + 1, c2 - c1 - 1));
+      const double stop_s = std::stod(item.substr(c2 + 1));
+      o.start = seconds_to_time(start_s);
+      o.stop = seconds_to_time(stop_s);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("malformed outage (want node:start:stop): " + item);
+    }
+    if (o.stop <= o.start) {
+      throw std::invalid_argument("outage stop must be after start: " + item);
+    }
+    out.push_back(o);
+  }
+  return out;
 }
 
 TopologyKind parse_topology(const std::string& name) {

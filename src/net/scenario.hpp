@@ -11,8 +11,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "mac/params.hpp"
+#include "phy/impairments.hpp"
 #include "phy/propagation.hpp"
 #include "util/config.hpp"
 #include "util/types.hpp"
@@ -55,6 +57,11 @@ struct ScenarioConfig {
   mac::DcfParams mac;
   phy::PropagationParams prop;
 
+  /// Channel impairment schedule (disabled by default: a default-constructed
+  /// plan draws nothing and leaves every run bit-identical to a build
+  /// without the fault layer).
+  phy::FaultPlan faults;
+
   std::size_t node_count() const {
     return topology == TopologyKind::kGrid ? grid_rows * grid_cols : random_nodes;
   }
@@ -65,6 +72,11 @@ struct ScenarioConfig {
   /// Builds a ScenarioConfig from declared+overridden values.
   static ScenarioConfig from_config(const util::Config& config);
 };
+
+/// Parses the `fault_outages` config string: a comma-separated list of
+/// `node:start_s:stop_s` triples (e.g. "3:10:12,7:100:105"). Empty string
+/// means no outages. Throws std::invalid_argument on malformed input.
+std::vector<phy::FaultPlan::Outage> parse_outages(const std::string& spec);
 
 TopologyKind parse_topology(const std::string& name);
 TrafficKind parse_traffic(const std::string& name);

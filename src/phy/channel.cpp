@@ -1,7 +1,9 @@
 #include "phy/channel.hpp"
 
+#include <limits>
 #include <stdexcept>
 
+#include "phy/impairments.hpp"
 #include "phy/radio.hpp"
 
 namespace manet::phy {
@@ -18,21 +20,53 @@ void Channel::attach(Radio* radio) {
   by_id_.emplace(radio->id(), radio);
 }
 
+void Channel::install_faults(FaultInjector& faults) {
+  faults_ = &faults;
+  for (const FaultPlan::Outage& o : faults.plan().outages) {
+    auto it = by_id_.find(o.node);
+    if (it == by_id_.end()) {
+      throw std::invalid_argument("fault outage names an unattached radio");
+    }
+    Radio* radio = it->second;
+    sim_.at(o.start, [radio] { radio->set_outage(true); });
+    sim_.at(o.stop, [radio] { radio->set_outage(false); });
+  }
+}
+
 std::uint64_t Channel::transmit(NodeId tx, PayloadPtr payload, SimDuration airtime) {
   const std::uint64_t id = next_signal_id_++;
   const SimTime start = sim_.now();
   const SimTime end = start + airtime;
   const geom::Vec2 tx_pos = positions_.position(tx, start);
+  // The fault RNG stream is consumed only for enabled plans, keeping
+  // fault-free runs bit-identical to a build without the injector.
+  const bool faulty = faults_ != nullptr && faults_->enabled();
 
   for (Radio* rx : radios_) {
     if (rx->id() == tx) continue;
+    if (rx->in_outage()) continue;  // deaf: not even energy arrives
     const geom::Vec2 rx_pos = positions_.position(rx->id(), start);
     const double power = prop_.rx_power_dbm(tx_pos, rx_pos);
     if (power < prop_.cs_threshold_dbm()) continue;  // inaudible
 
     Signal signal{id, tx, payload, start, end, power};
-    rx->signal_start(signal, prop_.rx_threshold_dbm(),
-                     prop_.params().capture_threshold_db);
+    double rx_threshold = prop_.rx_threshold_dbm();
+    if (faulty && power >= rx_threshold) {
+      switch (faults_->decode_fate(tx, rx->id())) {
+        case DecodeFate::kIntact:
+          break;
+        case DecodeFate::kLost:
+          // Anonymous energy: audible for carrier sense, never decodable —
+          // the monitor's undecodable-busy case, now on demand.
+          rx_threshold = std::numeric_limits<double>::infinity();
+          break;
+        case DecodeFate::kCorrupted:
+          signal.payload = faults_->corrupt_payload(payload);
+          signal.corrupted = true;
+          break;
+      }
+    }
+    rx->signal_start(signal, rx_threshold, prop_.params().capture_threshold_db);
     sim_.at(end, [rx, signal] { rx->signal_end(signal); });
   }
 

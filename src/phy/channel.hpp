@@ -18,6 +18,7 @@
 
 namespace manet::phy {
 
+class FaultInjector;
 class Radio;
 
 class Channel {
@@ -27,6 +28,11 @@ class Channel {
 
   /// Registers a radio. Radios must outlive the channel's use of them.
   void attach(Radio* radio);
+
+  /// Composes a fault injector into every subsequent delivery and schedules
+  /// its outage toggles. Call after all radios are attached (outage node
+  /// ids must resolve); the injector must outlive the channel's use of it.
+  void install_faults(FaultInjector& faults);
 
   /// Starts a transmission of `payload` lasting `airtime` from `tx`.
   /// Returns the signal id.
@@ -42,6 +48,7 @@ class Channel {
   sim::Simulator& sim_;
   Propagation& prop_;
   const PositionProvider& positions_;
+  FaultInjector* faults_ = nullptr;
   std::vector<Radio*> radios_;
   std::unordered_map<NodeId, Radio*> by_id_;
   std::uint64_t next_signal_id_ = 1;

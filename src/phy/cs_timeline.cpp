@@ -21,6 +21,35 @@ void CsTimeline::prune(SimTime now) {
     initial_busy_ = transitions_.front().busy;
     transitions_.pop_front();
   }
+  while (!outages_.empty() && outages_.front().stop <= horizon) {
+    outages_.pop_front();
+  }
+}
+
+void CsTimeline::on_outage(bool deaf, SimTime at) {
+  if (deaf == in_outage_) return;
+  if (deaf) {
+    outage_start_ = at;
+  } else if (at > outage_start_) {
+    outages_.push_back(OutageSpan{outage_start_, at});
+  }
+  in_outage_ = deaf;
+  prune(at);
+}
+
+SimDuration CsTimeline::outage_time(SimTime from, SimTime to) const {
+  assert(from <= to);
+  SimDuration total = 0;
+  for (const OutageSpan& o : outages_) {
+    const SimTime lo = std::max(from, o.start);
+    const SimTime hi = std::min(to, o.stop);
+    if (hi > lo) total += hi - lo;
+  }
+  if (in_outage_) {
+    const SimTime lo = std::max(from, outage_start_);
+    if (to > lo) total += to - lo;
+  }
+  return total;
 }
 
 SimDuration CsTimeline::cumulative_busy(SimTime at) const {

@@ -41,8 +41,17 @@ class CsTimeline : public RadioListener {
   void on_receive(const Signal&) override {}
   void on_receive_error(const Signal&) override {}
   void on_transmit_end(std::uint64_t) override {}
+  void on_outage(bool deaf, SimTime at) override;
 
   bool busy_at_end() const { return current_busy_; }
+
+  /// Time within [from, to] the radio was deaf (fault-injected outage).
+  /// The recorded timeline shows idle air during an outage; monitors use
+  /// this query to discard observation windows that overlap one instead of
+  /// mistaking deafness for countable idle time.
+  SimDuration outage_time(SimTime from, SimTime to) const;
+
+  bool in_outage() const { return in_outage_; }
 
   /// Busy time within [from, to] given the recorded transitions. `to` must
   /// not precede `from`; times beyond the last transition extend the
@@ -92,6 +101,14 @@ class CsTimeline : public RadioListener {
   bool initial_busy_ = false;  // state before the first retained transition
   SimTime last_edge_ = 0;      // time of the most recent transition
   SimDuration cum_busy_ = 0;   // busy time accumulated before last_edge_
+
+  struct OutageSpan {
+    SimTime start;
+    SimTime stop;
+  };
+  std::deque<OutageSpan> outages_;  // completed spans, sorted, pruned by age
+  bool in_outage_ = false;
+  SimTime outage_start_ = 0;
 };
 
 }  // namespace manet::phy

@@ -1,0 +1,33 @@
+#include "phy/impairments.hpp"
+
+#include <algorithm>
+
+namespace manet::phy {
+
+DecodeFate FaultInjector::decode_fate(NodeId tx, NodeId rx) {
+  ++decisions_;
+
+  double p_loss = plan_.loss_probability;
+  if (plan_.gilbert_elliott) {
+    bool& bad = link_bad_[link_key(tx, rx)];
+    // One chain step per frame: the sojourn in each state is geometric, so
+    // bad-state bursts average 1 / ge_p_bad_to_good frames.
+    bad = bad ? !rng_.bernoulli(plan_.ge_p_bad_to_good)
+              : rng_.bernoulli(plan_.ge_p_good_to_bad);
+    p_loss = std::max(p_loss, bad ? plan_.ge_loss_bad : plan_.ge_loss_good);
+  }
+
+  if (p_loss > 0.0 && rng_.bernoulli(p_loss)) return DecodeFate::kLost;
+  if (plan_.corrupt_probability > 0.0 &&
+      rng_.bernoulli(plan_.corrupt_probability)) {
+    return DecodeFate::kCorrupted;
+  }
+  return DecodeFate::kIntact;
+}
+
+PayloadPtr FaultInjector::corrupt_payload(const PayloadPtr& original) {
+  if (!corruptor_) return original;
+  return corruptor_(original, rng_);
+}
+
+}  // namespace manet::phy

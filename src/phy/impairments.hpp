@@ -1,0 +1,119 @@
+// PHY fault injection: seeded, deterministic channel impairments.
+//
+// The paper's evaluation assumes a monitor decodes every RTS its tagged
+// neighbor sends; real channels do not cooperate. A FaultInjector composed
+// into Channel::transmit perturbs per-receiver deliveries three ways:
+//
+//  * decode failures — the frame arrives as anonymous energy (carrier sense
+//    fires, nothing decodes), either i.i.d. per delivery or bursty via a
+//    per-link Gilbert–Elliott chain;
+//  * field corruption — the frame is delivered with mangled verifiable-RTS
+//    fields and marked corrupted, so the locked reception ends in
+//    on_receive_error (the FCS catches bit errors; receivers must never
+//    interpret fields of a corrupted frame);
+//  * radio outages — a node goes completely deaf for [start, stop): no
+//    energy, no frames (models a sleeping/failed receiver).
+//
+// All decisions come from one dedicated RNG stream (independent from
+// traffic/mobility/shadowing), so a fault schedule is a pure function of
+// (plan, seed): identical across runs, and entirely absent — zero draws —
+// when the plan is disabled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "phy/signal.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace manet::phy {
+
+/// What happened to one per-receiver delivery of a decodable frame.
+enum class DecodeFate : std::uint8_t { kIntact, kLost, kCorrupted };
+
+/// Declarative impairment schedule (part of ScenarioConfig).
+struct FaultPlan {
+  /// I.i.d. per-delivery decode-failure probability.
+  double loss_probability = 0.0;
+
+  /// Gilbert–Elliott bursty decode failures, one chain per (tx, rx) link.
+  /// The chain advances one step per delivered frame; expected burst length
+  /// in the bad state is 1 / ge_p_bad_to_good frames.
+  bool gilbert_elliott = false;
+  double ge_p_good_to_bad = 0.05;
+  double ge_p_bad_to_good = 0.25;
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 1.0;
+
+  /// Per-delivery probability that the frame decodes with corrupted
+  /// contents (mangled fields + FCS failure) instead of intact.
+  double corrupt_probability = 0.0;
+
+  /// Scheduled receiver outages: `node` hears nothing during [start, stop).
+  struct Outage {
+    NodeId node = kInvalidNode;
+    SimTime start = 0;
+    SimTime stop = 0;
+  };
+  std::vector<Outage> outages;
+
+  /// Extra stream selector mixed into the injector seed (lets one scenario
+  /// seed host several independent fault schedules).
+  std::uint64_t seed = 0;
+
+  bool enabled() const {
+    return loss_probability > 0.0 || gilbert_elliott ||
+           corrupt_probability > 0.0 || !outages.empty();
+  }
+};
+
+/// Draws per-delivery fates from the plan. One instance per Channel;
+/// installed via Channel::install_faults (which also schedules the outage
+/// toggles). Deliberately not copyable: the GE link states and the RNG
+/// stream are the fault schedule.
+class FaultInjector {
+ public:
+  /// Maps a payload to its corrupted replacement (higher layers install a
+  /// frame-aware mangler; the PHY stays payload-agnostic).
+  using PayloadCorruptor =
+      std::function<PayloadPtr(const PayloadPtr&, util::Xoshiro256ss&)>;
+
+  FaultInjector(const FaultPlan& plan, std::uint64_t seed)
+      : plan_(plan), rng_(util::mix64(seed ^ plan.seed ^ 0xFA017EC7ULL)) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return plan_.enabled(); }
+
+  void set_corruptor(PayloadCorruptor corruptor) {
+    corruptor_ = std::move(corruptor);
+  }
+
+  /// Fate of the next delivery on link tx -> rx. Advances the link's GE
+  /// chain (when enabled) and the fault RNG stream.
+  DecodeFate decode_fate(NodeId tx, NodeId rx);
+
+  /// The corrupted replacement payload (original when no corruptor is set).
+  PayloadPtr corrupt_payload(const PayloadPtr& original);
+
+  /// Fate draws made so far (diagnostics: must stay 0 for a disabled plan).
+  std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  static std::uint64_t link_key(NodeId tx, NodeId rx) {
+    return (static_cast<std::uint64_t>(tx) << 32) | rx;
+  }
+
+  FaultPlan plan_;
+  util::Xoshiro256ss rng_;
+  std::unordered_map<std::uint64_t, bool> link_bad_;  // GE state per link
+  PayloadCorruptor corruptor_;
+  std::uint64_t decisions_ = 0;
+};
+
+}  // namespace manet::phy

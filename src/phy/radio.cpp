@@ -20,8 +20,24 @@ std::uint64_t Radio::transmit(PayloadPtr payload, SimDuration airtime) {
   return channel_.transmit(id_, std::move(payload), airtime);
 }
 
+void Radio::set_outage(bool deaf) {
+  if (deaf == outage_) return;
+  outage_ = deaf;
+  if (deaf) {
+    // All audible energy vanishes; a locked frame is lost without a trace
+    // (a deaf radio cannot even tell a reception was in progress).
+    incident_.clear();
+    receiving_ = false;
+    rx_corrupted_ = false;
+  }
+  const SimTime at = channel_.simulator().now();
+  for (auto* l : listeners_) l->on_outage(deaf, at);
+  notify_carrier_if_changed();
+}
+
 void Radio::signal_start(const Signal& signal, double rx_threshold_dbm,
                          double capture_threshold_db) {
+  if (outage_) return;  // deaf: not even energy
   incident_.emplace(signal.id, signal);
 
   if (transmitting_) {
@@ -48,7 +64,7 @@ void Radio::signal_start(const Signal& signal, double rx_threshold_dbm,
     }
     receiving_ = true;
     rx_signal_ = signal;
-    rx_corrupted_ = blocked;
+    rx_corrupted_ = blocked || signal.corrupted;
   }
   notify_carrier_if_changed();
 }

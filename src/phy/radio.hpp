@@ -36,6 +36,9 @@ class RadioListener {
   virtual void on_receive_error(const Signal& signal) = 0;
   /// Our own transmission finished.
   virtual void on_transmit_end(std::uint64_t signal_id) = 0;
+  /// The radio entered (true) or left (false) a scheduled outage. Default
+  /// no-op: most listeners only care about carrier edges, which fire too.
+  virtual void on_outage(bool /*deaf*/, SimTime /*at*/) {}
 };
 
 class Radio {
@@ -57,6 +60,13 @@ class Radio {
   /// Physical carrier sense: audible energy or own transmission.
   bool carrier_busy() const { return transmitting_ || !incident_.empty(); }
 
+  /// Fault-injected receiver outage. While deaf the radio drops all
+  /// incident energy (any in-progress reception is silently lost) and
+  /// ignores new signals; transmission still works. Listeners see the
+  /// carrier edge plus an on_outage notification.
+  void set_outage(bool deaf);
+  bool in_outage() const { return outage_; }
+
   // --- Channel-facing interface ---
   void signal_start(const Signal& signal, double rx_threshold_dbm,
                     double capture_threshold_db);
@@ -73,6 +83,7 @@ class Radio {
   std::unordered_map<std::uint64_t, Signal> incident_;  // audible signals
   bool transmitting_ = false;
   bool last_carrier_ = false;
+  bool outage_ = false;
 
   // Reception lock state.
   bool receiving_ = false;

@@ -28,6 +28,10 @@ struct Signal {
   SimTime start = 0;
   SimTime end = 0;
   double rx_power_dbm = 0.0;   // at this receiver
+  /// Fault injection marked this delivery's bits as damaged: a radio that
+  /// locks onto it reports a reception error (the FCS fails), never a
+  /// valid frame.
+  bool corrupted = false;
 };
 
 /// Interface nodes use to expose their (possibly moving) positions.
