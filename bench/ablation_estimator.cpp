@@ -7,7 +7,9 @@
 // between x and y, and the resulting detection/false-alarm rates. This is
 // the design-choice study behind DESIGN.md's "per-slot activity
 // calibration" decision, and doubles as the tuning harness for
-// margin_fraction / alpha.
+// margin_fraction / alpha. Each (load, PM, mapping) cell is an independent
+// simulation; cells fan out across the experiment engine (--threads).
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -24,10 +26,12 @@ struct Diag {
   double mean_x = 0, mean_y = 0, ratio = 0, corr = 0;
   double flag_rate = 0;
   std::uint64_t windows = 0, samples = 0;
+  double wall_seconds = 0;
 };
 
 Diag run_once(const net::ScenarioConfig& scenario, double rate, double pm,
               detect::ActivityMapping mapping, std::size_t sample_size) {
+  const auto start = std::chrono::steady_clock::now();
   net::Network net(scenario);
   const NodeId s = net.center_node();
   const NodeId r = net.neighbors(s, net.config().prop.tx_range_m, 0).front();
@@ -65,8 +69,16 @@ Diag run_once(const net::ScenarioConfig& scenario, double rate, double pm,
   d.ratio = d.mean_x > 0 ? d.mean_y / d.mean_x : 0;
   d.corr = util::correlation(xs, ys);
   d.flag_rate = monitor.flag_rate();
+  d.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return d;
 }
+
+struct Cell {
+  double load = 0, rate = 0, pm = 0;
+  detect::ActivityMapping mapping = detect::ActivityMapping::kPerSlot;
+};
 
 }  // namespace
 
@@ -77,6 +89,7 @@ int main(int argc, char** argv) {
   config.declare("sim_time", "120", "simulated seconds per point");
   config.declare("sample_size", "10", "Wilcoxon window size");
   config.declare("seed", "501", "random seed");
+  bench::declare_engine_flags(config);
   bench::parse_or_exit(argc, argv, config,
                        "Ablation: estimator bias and mapping choice.");
 
@@ -87,27 +100,65 @@ int main(int argc, char** argv) {
   net::ScenarioConfig scenario;
   scenario.sim_seconds = config.get_double("sim_time");
   scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+
+  exp::Engine engine = bench::make_engine(config);
+  const auto sink = bench::make_sink(config);
   bench::RateCache rates(scenario);
+
+  const auto loads = bench::get_double_list(config, "loads");
+  const auto pms = bench::get_double_list(config, "pms");
+  const std::size_t sample_size =
+      static_cast<std::size_t>(config.get_int("sample_size"));
+
+  const std::vector<double> load_rates = engine.map(
+      loads.size(), [&](std::size_t i) { return rates.rate_for(loads[i]); });
+
+  std::vector<Cell> cells;
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    for (double pm : pms) {
+      for (auto mapping : {detect::ActivityMapping::kPerSlot,
+                           detect::ActivityMapping::kIdentity}) {
+        cells.push_back({loads[li], load_rates[li], pm, mapping});
+      }
+    }
+  }
+
+  const std::vector<Diag> diags = engine.map(cells.size(), [&](std::size_t i) {
+    const Cell& c = cells[i];
+    return run_once(scenario, c.rate, c.pm, c.mapping, sample_size);
+  });
 
   std::printf("  %-6s %-5s %-10s %-8s %-8s %-8s %-7s %-9s %-8s\n", "load", "PM",
               "mapping", "E[x]", "E[y]", "y/x", "corr", "flagrate", "samples");
 
-  for (double load : bench::parse_double_list(config.get("loads"))) {
-    const double rate = rates.rate_for(load);
-    for (double pm : bench::parse_double_list(config.get("pms"))) {
-      for (auto mapping : {detect::ActivityMapping::kPerSlot,
-                           detect::ActivityMapping::kIdentity}) {
-        const Diag d = run_once(scenario, rate, pm, mapping,
-                                static_cast<std::size_t>(config.get_int("sample_size")));
-        std::printf("  %-6.1f %-5.0f %-10s %-8.2f %-8.2f %-8.3f %-7.3f %-9.3f %-8llu\n",
-                    load, pm,
-                    mapping == detect::ActivityMapping::kPerSlot ? "per-slot"
-                                                                 : "identity",
-                    d.mean_x, d.mean_y, d.ratio, d.corr, d.flag_rate,
-                    static_cast<unsigned long long>(d.samples));
-        std::fflush(stdout);
-      }
-    }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    const Diag& d = diags[i];
+    const char* mapping_name =
+        c.mapping == detect::ActivityMapping::kPerSlot ? "per-slot" : "identity";
+    std::printf("  %-6.1f %-5.0f %-10s %-8.2f %-8.2f %-8.3f %-7.3f %-9.3f %-8llu\n",
+                c.load, c.pm, mapping_name, d.mean_x, d.mean_y, d.ratio, d.corr,
+                d.flag_rate, static_cast<unsigned long long>(d.samples));
+    std::fflush(stdout);
+
+    exp::Record rec;
+    rec.add("bench", "ablation_estimator")
+        .add("load", c.load)
+        .add("pm", c.pm)
+        .add("mapping", mapping_name)
+        .add("rate_pps", c.rate)
+        .add("sim_time_s", config.get_double("sim_time"))
+        .add("mean_expected", d.mean_x)
+        .add("mean_observed", d.mean_y)
+        .add("bias_ratio", d.ratio)
+        .add("correlation", d.corr)
+        .add("flag_rate", d.flag_rate)
+        .add("windows", d.windows)
+        .add("samples", d.samples)
+        .add("wall_seconds", d.wall_seconds)
+        .add("threads", engine.threads());
+    sink->record(rec);
   }
+  sink->flush();
   return 0;
 }

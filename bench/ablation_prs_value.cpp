@@ -9,6 +9,8 @@
 //                 back-off *distribution* (rank-sum against uniform
 //                 quantiles; no deterministic checks possible),
 // and reports detection (PM sweep) and false alarms (PM=0) for both.
+// PM points x runs fan out across the experiment engine (--threads).
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -25,6 +27,7 @@ int main(int argc, char** argv) {
   config.declare("sample_size", "10", "Wilcoxon window size");
   config.declare("runs", "2", "independent runs per point");
   config.declare("seed", "801", "base random seed");
+  bench::declare_engine_flags(config);
   bench::parse_or_exit(argc, argv, config,
                        "Ablation: verifiable-PRS monitor vs PRS-unaware "
                        "baseline watcher.");
@@ -37,13 +40,16 @@ int main(int argc, char** argv) {
   net::ScenarioConfig scenario;
   scenario.sim_seconds = config.get_double("sim_time");
   scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+
+  exp::Engine engine = bench::make_engine(config);
+  const auto sink = bench::make_sink(config);
   bench::RateCache rates(scenario);
   const double rate = rates.rate_for(config.get_double("load"));
+  const auto pms = bench::get_double_list(config, "pms");
+  const int runs = static_cast<int>(config.get_int("runs"));
 
-  std::printf("  %-5s %-26s %-26s\n", "PM", "full (rate, windows)",
-              "baseline (rate, windows)");
-
-  for (double pm : bench::parse_double_list(config.get("pms"))) {
+  std::vector<detect::MultiDetectionConfig> points;
+  for (double pm : pms) {
     detect::MultiDetectionConfig cfg;
     cfg.scenario = scenario;
     cfg.rate_pps = rate;
@@ -56,14 +62,45 @@ int main(int argc, char** argv) {
       m.fixed_contenders = 20.0;
       cfg.monitors.push_back(m);
     }
-    const auto result =
-        detect::run_multi_detection_trials(cfg, static_cast<int>(config.get_int("runs")));
+    points.push_back(cfg);
+  }
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = detect::run_multi_detection_sweep(points, runs, engine);
+  const double sweep_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+          .count();
+
+  std::printf("  %-5s %-26s %-26s\n", "PM", "full (rate, windows)",
+              "baseline (rate, windows)");
+  for (std::size_t i = 0; i < pms.size(); ++i) {
+    const auto& result = results[i];
     const auto& full = result.per_config[0];
     const auto& base = result.per_config[1];
-    std::printf("  %-5.0f %6.3f (%5llu windows)     %6.3f (%5llu windows)\n", pm,
-                full.detection_rate, static_cast<unsigned long long>(full.windows),
-                base.detection_rate, static_cast<unsigned long long>(base.windows));
+    std::printf("  %-5.0f %6.3f (%5llu windows)     %6.3f (%5llu windows)\n",
+                pms[i], full.detection_rate,
+                static_cast<unsigned long long>(full.windows),
+                base.detection_rate,
+                static_cast<unsigned long long>(base.windows));
     std::fflush(stdout);
+
+    exp::Record rec;
+    rec.add("bench", "ablation_prs_value")
+        .add("pm", pms[i])
+        .add("load", config.get_double("load"))
+        .add("rate_pps", rate)
+        .add("runs", runs)
+        .add("sim_time_s", config.get_double("sim_time"))
+        .add("full_windows", full.windows)
+        .add("full_rate", full.detection_rate)
+        .add("baseline_windows", base.windows)
+        .add("baseline_rate", base.detection_rate)
+        .add("wall_seconds", result.wall_seconds)
+        .add("threads", engine.threads());
+    sink->record(rec);
   }
+  sink->flush();
+  std::printf("\n# sweep wall-clock: %.2f s (%u threads, %zu points x %d runs)\n",
+              sweep_wall, engine.threads(), points.size(), runs);
   return 0;
 }

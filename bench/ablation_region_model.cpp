@@ -4,7 +4,8 @@
 // a significant role in the computation of the necessary probabilities".
 // This bench re-runs the detection experiment with monitors that assume
 // different fixed counts, all watching the same channel history, and
-// reports how detection and false-alarm rates move.
+// reports how detection and false-alarm rates move. The two halves run
+// concurrently across the experiment engine (--threads).
 #include <cstdio>
 #include <vector>
 
@@ -20,7 +21,9 @@ int main(int argc, char** argv) {
   config.declare("pm", "50", "PM for the detection half of the study");
   config.declare("sim_time", "180", "simulated seconds per run");
   config.declare("sample_size", "10", "Wilcoxon window size");
-  config.declare("seed", "601", "random seed");
+  config.declare("runs", "1", "independent runs per point (consecutive seeds)");
+  config.declare("seed", "601", "base random seed");
+  bench::declare_engine_flags(config);
   bench::parse_or_exit(argc, argv, config,
                        "Ablation: sensitivity to assumed region node counts "
                        "(paper footnote 8).");
@@ -33,11 +36,17 @@ int main(int argc, char** argv) {
   net::ScenarioConfig scenario;
   scenario.sim_seconds = config.get_double("sim_time");
   scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+
+  exp::Engine engine = bench::make_engine(config);
+  const auto sink = bench::make_sink(config);
   bench::RateCache rates(scenario);
   const double rate = rates.rate_for(config.get_double("load"));
-  const auto counts = bench::parse_double_list(config.get("counts"));
+  const auto counts = bench::get_double_list(config, "counts");
+  const int runs = static_cast<int>(config.get_int("runs"));
 
-  for (double pm : {config.get_double("pm"), 0.0}) {
+  const std::vector<double> pms = {config.get_double("pm"), 0.0};
+  std::vector<detect::MultiDetectionConfig> points;
+  for (double pm : pms) {
     detect::MultiDetectionConfig cfg;
     cfg.scenario = scenario;
     cfg.rate_pps = rate;
@@ -49,8 +58,14 @@ int main(int argc, char** argv) {
       m.fixed_contenders = 20.0;
       cfg.monitors.push_back(m);
     }
-    const auto result = detect::run_multi_detection_experiment(cfg);
+    points.push_back(cfg);
+  }
 
+  const auto results = detect::run_multi_detection_sweep(points, runs, engine);
+
+  for (std::size_t pi = 0; pi < pms.size(); ++pi) {
+    const double pm = pms[pi];
+    const auto& result = results[pi];
     std::printf("\n## PM = %.0f (%s)\n", pm,
                 pm > 0 ? "detection rate" : "false-alarm rate");
     std::printf("  %-12s %-9s %-9s\n", "assumed n=k", "windows", "rate");
@@ -58,8 +73,24 @@ int main(int argc, char** argv) {
       const auto& r = result.per_config[i];
       std::printf("  %-12.0f %-9llu %-9.3f\n", counts[i],
                   static_cast<unsigned long long>(r.windows), r.detection_rate);
+
+      exp::Record rec;
+      rec.add("bench", "ablation_region_model")
+          .add("pm", pm)
+          .add("assumed_count", counts[i])
+          .add("load", config.get_double("load"))
+          .add("rate_pps", rate)
+          .add("runs", runs)
+          .add("sim_time_s", config.get_double("sim_time"))
+          .add("windows", r.windows)
+          .add("flagged", r.flagged)
+          .add("rate", r.detection_rate)
+          .add("wall_seconds", result.wall_seconds)
+          .add("threads", engine.threads());
+      sink->record(rec);
     }
     std::fflush(stdout);
   }
+  sink->flush();
   return 0;
 }

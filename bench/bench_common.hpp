@@ -1,18 +1,26 @@
 // Shared plumbing for the figure-reproduction benches: flag handling,
-// per-load rate calibration with caching, and table formatting.
+// engine construction (--threads), result sinks (--json), and strict
+// numeric-list parsing. Load calibration lives in the engine layer
+// (exp::RateCache — thread-safe, shareable across bench processes via
+// $MANET_RATE_CACHE); `bench::RateCache` is an alias for it.
 #pragma once
 
 #include <cstdio>
-#include <map>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "net/load.hpp"
+#include "exp/engine.hpp"
+#include "exp/rate_cache.hpp"
+#include "exp/sink.hpp"
 #include "net/scenario.hpp"
 #include "util/config.hpp"
 #include "util/flags.hpp"
 
 namespace manet::bench {
+
+using RateCache = exp::RateCache;
 
 /// Parses --key=value flags into `config`; prints help and exits(0) when
 /// --help is passed; exits(1) on bad flags.
@@ -31,54 +39,81 @@ inline void parse_or_exit(int argc, char** argv, util::Config& config,
   }
 }
 
-/// Calibrates (and caches) the per-flow rate that produces `load` at the
-/// monitored pair for this scenario family. Keyed on the load only: one
-/// bench works a single scenario family.
-class RateCache {
- public:
-  explicit RateCache(const net::ScenarioConfig& scenario) : scenario_(scenario) {}
+/// Declares the experiment-engine flags every sweep bench shares.
+inline void declare_engine_flags(util::Config& config) {
+  config.declare("threads", "0",
+                 "worker threads for trial fan-out (0 = all hardware threads)");
+  config.declare("json", "",
+                 "write one JSON record per sweep point to this file");
+}
 
-  double rate_for(double load) {
-    auto it = cache_.find(load);
-    if (it != cache_.end()) return it->second;
-    const auto setup = [](net::Network& net) {
-      const NodeId s = net.center_node();
-      const auto nbrs = net.neighbors(s, net.config().prop.tx_range_m, 0);
-      if (!nbrs.empty()) net.add_flow(s, nbrs.front(), 1.0);
-      net.build_random_flows();
-    };
-    const auto result = net::calibrate_load(scenario_, load, setup);
-    std::printf("# calibrated load %.2f -> %.2f pkt/s per flow "
-                "(measured busy fraction %.3f, %d probe runs)\n",
-                load, result.packets_per_second, result.measured_busy_fraction,
-                result.probe_runs);
-    std::fflush(stdout);
-    cache_.emplace(load, result.packets_per_second);
-    return result.packets_per_second;
+inline exp::Engine make_engine(const util::Config& config) {
+  const long long threads = config.get_int("threads");
+  if (threads < 0) {
+    std::fprintf(stderr, "flag error: --threads must be >= 0\n");
+    std::exit(1);
   }
+  return exp::Engine(static_cast<unsigned>(threads));
+}
 
- private:
-  net::ScenarioConfig scenario_;
-  std::map<double, double> cache_;
-};
+/// Builds the --json sink (NullSink when the flag is empty).
+inline std::shared_ptr<exp::ResultSink> make_sink(const util::Config& config) {
+  const std::string& path = config.get("json");
+  if (path.empty()) return std::make_shared<exp::NullSink>();
+  try {
+    return std::make_shared<exp::JsonFileSink>(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "flag error: --json: %s\n", e.what());
+    std::exit(1);
+  }
+}
 
 inline void print_header(const char* figure, const char* claim) {
   std::printf("# %s\n# Paper claim: %s\n", figure, claim);
 }
 
-/// Parses a comma-separated list of doubles ("0.3,0.6,0.9").
+/// Parses a comma-separated list of doubles ("0.3,0.6,0.9"). Rejects
+/// malformed entries ("0.3,x", "1.2.3") with util::ConfigError instead of
+/// letting std::stod terminate the process.
 inline std::vector<double> parse_double_list(const std::string& text) {
   std::vector<double> out;
   std::string token;
-  for (char c : text + ",") {
+  auto flush_token = [&out](const std::string& tok) {
+    if (tok.empty()) return;
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(tok, &consumed);
+    } catch (const std::exception&) {
+      throw util::ConfigError("'" + tok + "' is not a number");
+    }
+    if (consumed != tok.size()) {
+      throw util::ConfigError("'" + tok + "' has trailing characters");
+    }
+    out.push_back(value);
+  };
+  for (char c : text) {
     if (c == ',') {
-      if (!token.empty()) out.push_back(std::stod(token));
+      flush_token(token);
       token.clear();
-    } else {
+    } else if (c != ' ' && c != '\t') {
       token.push_back(c);
     }
   }
+  flush_token(token);
   return out;
+}
+
+/// parse_double_list on a declared flag, exiting with a clean flag error
+/// (instead of an uncaught exception) on malformed input.
+inline std::vector<double> get_double_list(const util::Config& config,
+                                           const std::string& key) {
+  try {
+    return parse_double_list(config.get(key));
+  } catch (const util::ConfigError& e) {
+    std::fprintf(stderr, "flag error: --%s: %s\n", key.c_str(), e.what());
+    std::exit(1);
+  }
 }
 
 }  // namespace manet::bench

@@ -26,8 +26,11 @@ int main(int argc, char** argv) {
   config.declare("sim_time", "180", "simulated seconds");
   config.declare("sample_size", "10", "Wilcoxon window size");
   config.declare("seed", "901", "random seed");
+  config.declare("json", "",
+                 "write one JSON record per watched suspect to this file");
   bench::parse_or_exit(argc, argv, config,
                        "Extension: multi-hop AODV traffic + multiple attackers.");
+  const auto sink = bench::make_sink(config);
 
   bench::print_header(
       "Extension: multi-hop routing and multiple attackers",
@@ -108,7 +111,20 @@ int main(int argc, char** argv) {
                 w.is_attacker ? "ATTACKER" : "honest control");
     if (w.is_attacker && w.monitor->flag_rate() < 0.5) all_good = false;
     if (!w.is_attacker && w.monitor->flag_rate() > 0.05) all_good = false;
+
+    exp::Record rec;
+    rec.add("bench", "extension_multihop")
+        .add("suspect", static_cast<std::uint64_t>(w.suspect))
+        .add("monitor", static_cast<std::uint64_t>(w.monitor_node))
+        .add("is_attacker", w.is_attacker)
+        .add("pm", w.is_attacker ? pm : 0.0)
+        .add("windows", st.windows)
+        .add("flagged", st.flagged_windows)
+        .add("flag_rate", w.monitor->flag_rate())
+        .add("sim_time_s", config.get_double("sim_time"));
+    sink->record(rec);
   }
+  sink->flush();
 
   // Multi-hop background traffic health.
   std::uint64_t originated = 0, delivered = 0;

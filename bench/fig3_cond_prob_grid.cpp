@@ -5,7 +5,8 @@
 // The bench sweeps the per-flow rate, measures the resulting traffic
 // intensity rho at the monitor (the paper's x axis), the ground-truth
 // conditional probabilities of the center S-R pair, and the analytical
-// values from the system-state model fed with the measured rho.
+// values from the system-state model fed with the measured rho. Sweep
+// points run concurrently across the experiment engine (--threads).
 #include <cstdio>
 #include <vector>
 
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   config.declare("seed", "1", "base random seed");
   config.declare("rates", "2,4,7,11,16,24,40,70,120",
                  "per-flow packet rates swept (pkt/s)");
+  bench::declare_engine_flags(config);
   bench::parse_or_exit(argc, argv, config,
                        "Figure 3(a)/(b): p(S busy | R idle) and p(S idle | R busy),"
                        " Poisson traffic, grid topology.");
@@ -29,22 +31,11 @@ int main(int argc, char** argv) {
       "Figure 3: conditional probabilities (Poisson, grid)",
       "p(B|I) grows with traffic intensity, p(I|B) shrinks; analysis tracks simulation");
 
-  std::vector<double> rates;
-  {
-    std::string token;
-    for (char c : config.get("rates") + ",") {
-      if (c == ',') {
-        if (!token.empty()) rates.push_back(std::stod(token));
-        token.clear();
-      } else {
-        token.push_back(c);
-      }
-    }
-  }
+  const auto rates = bench::get_double_list(config, "rates");
+  exp::Engine engine = bench::make_engine(config);
+  const auto sink = bench::make_sink(config);
 
-  std::printf("  %-6s %-10s %-12s %-12s %-12s %-12s\n", "rate", "intensity",
-              "sim p(B|I)", "ana p(B|I)", "sim p(I|B)", "ana p(I|B)");
-
+  std::vector<detect::CondProbConfig> points;
   for (double rate : rates) {
     detect::CondProbConfig cfg;
     cfg.scenario.traffic = net::TrafficKind::kPoisson;   // Fig. 3 setting
@@ -56,12 +47,32 @@ int main(int argc, char** argv) {
     cfg.monitor.fixed_n = cfg.monitor.fixed_k = 5.0;  // paper Section 5
     cfg.monitor.fixed_m = cfg.monitor.fixed_j = 5.0;
     cfg.monitor.fixed_contenders = 20.0;
+    points.push_back(cfg);
+  }
 
-    const detect::CondProbResult r = detect::run_cond_prob_experiment(cfg);
-    std::printf("  %-6.0f %-10.3f %-12.4f %-12.4f %-12.4f %-12.4f\n", rate,
+  const auto results = detect::run_cond_prob_sweep(points, engine);
+
+  std::printf("  %-6s %-10s %-12s %-12s %-12s %-12s\n", "rate", "intensity",
+              "sim p(B|I)", "ana p(B|I)", "sim p(I|B)", "ana p(I|B)");
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const detect::CondProbResult& r = results[i];
+    std::printf("  %-6.0f %-10.3f %-12.4f %-12.4f %-12.4f %-12.4f\n", rates[i],
                 r.measured_rho, r.sim_p_busy_given_idle, r.ana_p_busy_given_idle,
                 r.sim_p_idle_given_busy, r.ana_p_idle_given_busy);
-    std::fflush(stdout);
+
+    exp::Record rec;
+    rec.add("bench", "fig3_cond_prob_grid")
+        .add("rate_pps", rates[i])
+        .add("measure_time_s", config.get_double("measure_time"))
+        .add("intensity", r.measured_rho)
+        .add("sim_p_busy_given_idle", r.sim_p_busy_given_idle)
+        .add("ana_p_busy_given_idle", r.ana_p_busy_given_idle)
+        .add("sim_p_idle_given_busy", r.sim_p_idle_given_busy)
+        .add("ana_p_idle_given_busy", r.ana_p_idle_given_busy)
+        .add("wall_seconds", r.wall_seconds)
+        .add("threads", engine.threads());
+    sink->record(rec);
   }
+  sink->flush();
   return 0;
 }

@@ -1,7 +1,8 @@
 // Figure 4: conditional channel-state probabilities, CBR traffic on the
 // random topology (112 nodes, 3000 m x 3000 m). Same measurement as
 // Figure 3; region node counts and contender counts come from the actual
-// layout density rather than the grid's fixed n = k = 5.
+// layout density rather than the grid's fixed n = k = 5. Sweep points run
+// concurrently across the experiment engine (--threads).
 #include <cstdio>
 #include <numbers>
 #include <vector>
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   config.declare("seed", "3", "base random seed");
   config.declare("rates", "2,4,7,11,16,24,40,70,120",
                  "per-flow packet rates swept (pkt/s)");
+  bench::declare_engine_flags(config);
   bench::parse_or_exit(argc, argv, config,
                        "Figure 4(a)/(b): conditional probabilities, CBR traffic,"
                        " random topology.");
@@ -27,18 +29,9 @@ int main(int argc, char** argv) {
       "Figure 4: conditional probabilities (CBR, random topology)",
       "same trends as the grid: p(B|I) grows, p(I|B) shrinks, analysis tracks simulation");
 
-  std::vector<double> rates;
-  {
-    std::string token;
-    for (char c : config.get("rates") + ",") {
-      if (c == ',') {
-        if (!token.empty()) rates.push_back(std::stod(token));
-        token.clear();
-      } else {
-        token.push_back(c);
-      }
-    }
-  }
+  const auto rates = bench::get_double_list(config, "rates");
+  exp::Engine engine = bench::make_engine(config);
+  const auto sink = bench::make_sink(config);
 
   // Density-derived region counts for the uniform random layout — what the
   // paper's online estimator converges to.
@@ -50,9 +43,7 @@ int main(int argc, char** argv) {
   const double contenders = std::max(
       1.0, density * std::numbers::pi * proto.prop.cs_range_m * proto.prop.cs_range_m);
 
-  std::printf("  %-6s %-10s %-12s %-12s %-12s %-12s\n", "rate", "intensity",
-              "sim p(B|I)", "ana p(B|I)", "sim p(I|B)", "ana p(I|B)");
-
+  std::vector<detect::CondProbConfig> points;
   for (double rate : rates) {
     detect::CondProbConfig cfg;
     cfg.scenario = proto;
@@ -66,12 +57,32 @@ int main(int argc, char** argv) {
     cfg.monitor.fixed_m = density * regions.areas().a4;
     cfg.monitor.fixed_j = density * regions.areas().a5;
     cfg.monitor.fixed_contenders = contenders;
+    points.push_back(cfg);
+  }
 
-    const detect::CondProbResult r = detect::run_cond_prob_experiment(cfg);
-    std::printf("  %-6.0f %-10.3f %-12.4f %-12.4f %-12.4f %-12.4f\n", rate,
+  const auto results = detect::run_cond_prob_sweep(points, engine);
+
+  std::printf("  %-6s %-10s %-12s %-12s %-12s %-12s\n", "rate", "intensity",
+              "sim p(B|I)", "ana p(B|I)", "sim p(I|B)", "ana p(I|B)");
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const detect::CondProbResult& r = results[i];
+    std::printf("  %-6.0f %-10.3f %-12.4f %-12.4f %-12.4f %-12.4f\n", rates[i],
                 r.measured_rho, r.sim_p_busy_given_idle, r.ana_p_busy_given_idle,
                 r.sim_p_idle_given_busy, r.ana_p_idle_given_busy);
-    std::fflush(stdout);
+
+    exp::Record rec;
+    rec.add("bench", "fig4_cond_prob_random")
+        .add("rate_pps", rates[i])
+        .add("measure_time_s", config.get_double("measure_time"))
+        .add("intensity", r.measured_rho)
+        .add("sim_p_busy_given_idle", r.sim_p_busy_given_idle)
+        .add("ana_p_busy_given_idle", r.ana_p_busy_given_idle)
+        .add("sim_p_idle_given_busy", r.sim_p_idle_given_busy)
+        .add("ana_p_idle_given_busy", r.ana_p_idle_given_busy)
+        .add("wall_seconds", r.wall_seconds)
+        .add("threads", engine.threads());
+    sink->record(rec);
   }
+  sink->flush();
   return 0;
 }

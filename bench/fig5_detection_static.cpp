@@ -2,9 +2,13 @@
 // misbehavior (PM), for sample sizes {10, 25, 50, 100} at loads
 // {0.3, 0.6, 0.9} on the static grid.
 //
-// One simulation per (load, PM) feeds all four sample sizes concurrently.
-// The per-flow rate for each load is calibrated once (busy fraction at the
-// monitored pair), mirroring how the paper dials in ns-2 loads.
+// One simulation per (load, PM, trial) feeds all four sample sizes
+// concurrently. All trials of the whole load x PM grid share the
+// experiment engine's work queue (--threads), and per-point aggregation
+// happens in trial order, so the numbers are bit-identical to a serial
+// run. The per-flow rate for each load is calibrated once (busy fraction
+// at the monitored pair), mirroring how the paper dials in ns-2 loads.
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -25,13 +29,15 @@ int main(int argc, char** argv) {
   config.declare("alpha", "0.01", "significance level for rejecting H0");
   config.declare("margin", "0.10",
                  "permissible back-off deficit (fraction of expected mean)");
+  bench::declare_engine_flags(config);
   bench::parse_or_exit(
       argc, argv, config,
       "Figure 5(a)-(c): probability of correct diagnosis vs PM, static grid.");
 
-  const auto loads = bench::parse_double_list(config.get("loads"));
-  const auto pms = bench::parse_double_list(config.get("pms"));
-  const auto sample_sizes = bench::parse_double_list(config.get("sample_sizes"));
+  const auto loads = bench::get_double_list(config, "loads");
+  const auto pms = bench::get_double_list(config, "pms");
+  const auto sample_sizes = bench::get_double_list(config, "sample_sizes");
+  const int runs = static_cast<int>(config.get_int("runs"));
 
   bench::print_header(
       "Figure 5(a)-(c): probability of correct diagnosis, static grid",
@@ -41,20 +47,22 @@ int main(int argc, char** argv) {
   net::ScenarioConfig scenario;  // Table-1 grid defaults
   scenario.sim_seconds = config.get_double("sim_time");
   scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+
+  exp::Engine engine = bench::make_engine(config);
+  const auto sink = bench::make_sink(config);
   bench::RateCache rates(scenario);
 
-  for (double load : loads) {
-    const double rate = rates.rate_for(load);
-    std::printf("\n## Load = %.1f  (columns: all-paths rate / statistical-only rate (windows))\n",
-                load);
-    std::printf("  %-5s", "PM");
-    for (double ss : sample_sizes) std::printf("  ss=%-17.0f", ss);
-    std::printf("  intensity\n");
+  // Calibrate every load up-front, across the workers.
+  const std::vector<double> load_rates =
+      engine.map(loads.size(), [&](std::size_t i) { return rates.rate_for(loads[i]); });
 
+  // One sweep point per (load, PM); every point drives all sample sizes.
+  std::vector<detect::MultiDetectionConfig> points;
+  for (std::size_t li = 0; li < loads.size(); ++li) {
     for (double pm : pms) {
       detect::MultiDetectionConfig cfg;
       cfg.scenario = scenario;
-      cfg.rate_pps = rate;
+      cfg.rate_pps = load_rates[li];
       cfg.pm = pm;
       for (double ss : sample_sizes) {
         detect::MonitorConfig m;
@@ -65,9 +73,26 @@ int main(int argc, char** argv) {
         m.fixed_contenders = 20.0;
         cfg.monitors.push_back(m);
       }
+      points.push_back(cfg);
+    }
+  }
 
-      const auto result =
-          detect::run_multi_detection_trials(cfg, static_cast<int>(config.get_int("runs")));
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = detect::run_multi_detection_sweep(points, runs, engine);
+  const double sweep_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+          .count();
+
+  std::size_t point = 0;
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    std::printf("\n## Load = %.1f  (columns: all-paths rate / statistical-only rate (windows))\n",
+                loads[li]);
+    std::printf("  %-5s", "PM");
+    for (double ss : sample_sizes) std::printf("  ss=%-17.0f", ss);
+    std::printf("  intensity\n");
+
+    for (double pm : pms) {
+      const auto& result = results[point++];
       std::printf("  %-5.0f", pm);
       for (const auto& r : result.per_config) {
         std::printf("  %5.3f/%5.3f (%4llu)", r.detection_rate,
@@ -75,7 +100,31 @@ int main(int argc, char** argv) {
       }
       std::printf("  %.3f\n", result.measured_rho);
       std::fflush(stdout);
+
+      for (std::size_t si = 0; si < sample_sizes.size(); ++si) {
+        const auto& r = result.per_config[si];
+        exp::Record rec;
+        rec.add("bench", "fig5_detection_static")
+            .add("load", loads[li])
+            .add("pm", pm)
+            .add("sample_size", sample_sizes[si])
+            .add("rate_pps", load_rates[li])
+            .add("runs", runs)
+            .add("sim_time_s", config.get_double("sim_time"))
+            .add("windows", r.windows)
+            .add("flagged", r.flagged)
+            .add("flagged_statistical", r.flagged_statistical)
+            .add("detection_rate", r.detection_rate)
+            .add("statistical_rate", r.statistical_rate)
+            .add("intensity", result.measured_rho)
+            .add("wall_seconds", result.wall_seconds)
+            .add("threads", engine.threads());
+        sink->record(rec);
+      }
     }
   }
+  sink->flush();
+  std::printf("\n# sweep wall-clock: %.2f s (%u threads, %zu points x %d runs)\n",
+              sweep_wall, engine.threads(), points.size(), runs);
   return 0;
 }

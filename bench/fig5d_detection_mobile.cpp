@@ -1,7 +1,10 @@
 // Figure 5(d): probability of correct diagnosis vs PM under mobility
 // (random waypoint, 0-20 m/s), load 0.6. The monitoring role is handed to
 // a fresh one-hop neighbor whenever the current monitor drifts out of the
-// tagged node's transmission range, as in the paper.
+// tagged node's transmission range, as in the paper. PM points x runs
+// fan out across the experiment engine (--threads); aggregation is in
+// trial order, bit-identical to a serial run.
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -22,12 +25,14 @@ int main(int argc, char** argv) {
   config.declare("margin", "0.10", "permissible deficit fraction");
   config.declare("max_speed", "20", "random waypoint max speed (m/s)");
   config.declare("pause", "0", "random waypoint pause time (s)");
+  bench::declare_engine_flags(config);
   bench::parse_or_exit(argc, argv, config,
                        "Figure 5(d): probability of correct diagnosis with "
                        "mobility (random waypoint), load 0.6.");
 
-  const auto pms = bench::parse_double_list(config.get("pms"));
-  const auto sample_sizes = bench::parse_double_list(config.get("sample_sizes"));
+  const auto pms = bench::get_double_list(config, "pms");
+  const auto sample_sizes = bench::get_double_list(config, "sample_sizes");
+  const int runs = static_cast<int>(config.get_int("runs"));
 
   bench::print_header(
       "Figure 5(d): probability of correct diagnosis with mobility (load 0.6)",
@@ -41,17 +46,16 @@ int main(int argc, char** argv) {
   scenario.sim_seconds = config.get_double("sim_time");
   scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
 
+  exp::Engine engine = bench::make_engine(config);
+  const auto sink = bench::make_sink(config);
+
   // Calibrate on the mobile scenario itself: random-waypoint motion spreads
   // the initially dense grid over the whole field, so a static calibration
   // would undershoot the intensity badly.
   bench::RateCache rates(scenario);
   const double rate = rates.rate_for(config.get_double("load"));
 
-  std::printf("  (columns: all-paths rate / statistical-only rate (windows))\n");
-  std::printf("  %-5s", "PM");
-  for (double ss : sample_sizes) std::printf("  ss=%-17.0f", ss);
-  std::printf("  intensity  handoffs\n");
-
+  std::vector<detect::MultiDetectionConfig> points;
   for (double pm : pms) {
     detect::MultiDetectionConfig cfg;
     cfg.scenario = scenario;
@@ -67,10 +71,23 @@ int main(int argc, char** argv) {
       m.fixed_contenders = 20.0;
       cfg.monitors.push_back(m);
     }
+    points.push_back(cfg);
+  }
 
-    const auto result =
-        detect::run_multi_detection_trials(cfg, static_cast<int>(config.get_int("runs")));
-    std::printf("  %-5.0f", pm);
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = detect::run_multi_detection_sweep(points, runs, engine);
+  const double sweep_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+          .count();
+
+  std::printf("  (columns: all-paths rate / statistical-only rate (windows))\n");
+  std::printf("  %-5s", "PM");
+  for (double ss : sample_sizes) std::printf("  ss=%-17.0f", ss);
+  std::printf("  intensity  handoffs\n");
+
+  for (std::size_t pi = 0; pi < pms.size(); ++pi) {
+    const auto& result = results[pi];
+    std::printf("  %-5.0f", pms[pi]);
     for (const auto& r : result.per_config) {
       std::printf("  %5.3f/%5.3f (%4llu)", r.detection_rate, r.statistical_rate,
                   static_cast<unsigned long long>(r.windows));
@@ -78,6 +95,31 @@ int main(int argc, char** argv) {
     std::printf("  %.3f      %llu\n", result.measured_rho,
                 static_cast<unsigned long long>(result.handoffs));
     std::fflush(stdout);
+
+    for (std::size_t si = 0; si < sample_sizes.size(); ++si) {
+      const auto& r = result.per_config[si];
+      exp::Record rec;
+      rec.add("bench", "fig5d_detection_mobile")
+          .add("load", config.get_double("load"))
+          .add("pm", pms[pi])
+          .add("sample_size", sample_sizes[si])
+          .add("rate_pps", rate)
+          .add("runs", runs)
+          .add("sim_time_s", config.get_double("sim_time"))
+          .add("windows", r.windows)
+          .add("flagged", r.flagged)
+          .add("flagged_statistical", r.flagged_statistical)
+          .add("detection_rate", r.detection_rate)
+          .add("statistical_rate", r.statistical_rate)
+          .add("intensity", result.measured_rho)
+          .add("handoffs", result.handoffs)
+          .add("wall_seconds", result.wall_seconds)
+          .add("threads", engine.threads());
+      sink->record(rec);
+    }
   }
+  sink->flush();
+  std::printf("\n# sweep wall-clock: %.2f s (%u threads, %zu points x %d runs)\n",
+              sweep_wall, engine.threads(), points.size(), runs);
   return 0;
 }

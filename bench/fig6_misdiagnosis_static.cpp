@@ -4,7 +4,9 @@
 //
 // Rare-event measurement: the paper averages 10,000 runs. We aggregate
 // windows across long runs and several seeds and report Wilson 95% upper
-// bounds alongside the point estimates.
+// bounds alongside the point estimates. Loads x runs fan out across the
+// experiment engine (--threads).
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -23,12 +25,14 @@ int main(int argc, char** argv) {
   config.declare("seed", "301", "base random seed");
   config.declare("alpha", "0.01", "significance level");
   config.declare("margin", "0.10", "permissible deficit fraction");
+  bench::declare_engine_flags(config);
   bench::parse_or_exit(argc, argv, config,
                        "Figure 6(a): probability of misdiagnosis vs sample "
                        "size, static grid.");
 
-  const auto loads = bench::parse_double_list(config.get("loads"));
-  const auto sample_sizes = bench::parse_double_list(config.get("sample_sizes"));
+  const auto loads = bench::get_double_list(config, "loads");
+  const auto sample_sizes = bench::get_double_list(config, "sample_sizes");
+  const int runs = static_cast<int>(config.get_int("runs"));
 
   bench::print_header(
       "Figure 6(a): probability of misdiagnosis, static grid",
@@ -38,17 +42,18 @@ int main(int argc, char** argv) {
   net::ScenarioConfig scenario;
   scenario.sim_seconds = config.get_double("sim_time");
   scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+
+  exp::Engine engine = bench::make_engine(config);
+  const auto sink = bench::make_sink(config);
   bench::RateCache rates(scenario);
+  const std::vector<double> load_rates =
+      engine.map(loads.size(), [&](std::size_t i) { return rates.rate_for(loads[i]); });
 
-  std::printf("  %-6s %-6s %-9s %-9s %-12s %-10s\n", "load", "ss", "windows",
-              "flagged", "P(misdiag)", "95%% upper");
-
-  for (double load : loads) {
-    const double rate = rates.rate_for(load);
-
+  std::vector<detect::MultiDetectionConfig> points;
+  for (std::size_t li = 0; li < loads.size(); ++li) {
     detect::MultiDetectionConfig cfg;
     cfg.scenario = scenario;
-    cfg.rate_pps = rate;
+    cfg.rate_pps = load_rates[li];
     cfg.pm = 0.0;  // everyone is honest
     for (double ss : sample_sizes) {
       detect::MonitorConfig m;
@@ -59,19 +64,49 @@ int main(int argc, char** argv) {
       m.fixed_contenders = 20.0;
       cfg.monitors.push_back(m);
     }
+    points.push_back(cfg);
+  }
 
-    const auto result =
-        detect::run_multi_detection_trials(cfg, static_cast<int>(config.get_int("runs")));
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = detect::run_multi_detection_sweep(points, runs, engine);
+  const double sweep_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+          .count();
+
+  std::printf("  %-6s %-6s %-9s %-9s %-12s %-10s\n", "load", "ss", "windows",
+              "flagged", "P(misdiag)", "95%% upper");
+
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    const auto& result = results[li];
     for (std::size_t i = 0; i < sample_sizes.size(); ++i) {
       const auto& r = result.per_config[i];
       util::ProportionEstimator p;
       for (std::uint64_t w = 0; w < r.windows; ++w) p.add(w < r.flagged);
-      std::printf("  %-6.1f %-6.0f %-9llu %-9llu %-12.4f %-10.4f\n", load,
+      std::printf("  %-6.1f %-6.0f %-9llu %-9llu %-12.4f %-10.4f\n", loads[li],
                   sample_sizes[i], static_cast<unsigned long long>(r.windows),
                   static_cast<unsigned long long>(r.flagged), r.detection_rate,
                   p.wilson_upper());
       std::fflush(stdout);
+
+      exp::Record rec;
+      rec.add("bench", "fig6_misdiagnosis_static")
+          .add("load", loads[li])
+          .add("sample_size", sample_sizes[i])
+          .add("rate_pps", load_rates[li])
+          .add("runs", runs)
+          .add("sim_time_s", config.get_double("sim_time"))
+          .add("windows", r.windows)
+          .add("flagged", r.flagged)
+          .add("misdiagnosis_rate", r.detection_rate)
+          .add("wilson_upper_95", p.wilson_upper())
+          .add("intensity", result.measured_rho)
+          .add("wall_seconds", result.wall_seconds)
+          .add("threads", engine.threads());
+      sink->record(rec);
     }
   }
+  sink->flush();
+  std::printf("\n# sweep wall-clock: %.2f s (%u threads, %zu points x %d runs)\n",
+              sweep_wall, engine.threads(), points.size(), runs);
   return 0;
 }

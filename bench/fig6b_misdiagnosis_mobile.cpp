@@ -1,6 +1,7 @@
 // Figure 6(b): probability of misdiagnosis vs sample size with mobility
 // (random waypoint, load 0.6). All nodes well behaved; monitor handoff on
-// range loss as in Figure 5(d).
+// range loss as in Figure 5(d). The independent runs fan out across the
+// experiment engine (--threads).
 #include <cstdio>
 #include <vector>
 
@@ -21,11 +22,13 @@ int main(int argc, char** argv) {
   config.declare("margin", "0.10", "permissible deficit fraction");
   config.declare("max_speed", "20", "random waypoint max speed (m/s)");
   config.declare("pause", "0", "random waypoint pause time (s)");
+  bench::declare_engine_flags(config);
   bench::parse_or_exit(argc, argv, config,
                        "Figure 6(b): probability of misdiagnosis with "
                        "mobility, load 0.6.");
 
-  const auto sample_sizes = bench::parse_double_list(config.get("sample_sizes"));
+  const auto sample_sizes = bench::get_double_list(config, "sample_sizes");
+  const int runs = static_cast<int>(config.get_int("runs"));
 
   bench::print_header(
       "Figure 6(b): probability of misdiagnosis with mobility (load 0.6)",
@@ -38,6 +41,8 @@ int main(int argc, char** argv) {
   scenario.sim_seconds = config.get_double("sim_time");
   scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
 
+  exp::Engine engine = bench::make_engine(config);
+  const auto sink = bench::make_sink(config);
   bench::RateCache rates(scenario);
   const double rate = rates.rate_for(config.get_double("load"));
 
@@ -56,8 +61,7 @@ int main(int argc, char** argv) {
     cfg.monitors.push_back(m);
   }
 
-  const auto result =
-      detect::run_multi_detection_trials(cfg, static_cast<int>(config.get_int("runs")));
+  const auto result = detect::run_multi_detection_trials(cfg, runs, engine);
 
   std::printf("  %-6s %-9s %-9s %-12s %-10s\n", "ss", "windows", "flagged",
               "P(misdiag)", "95%% upper");
@@ -69,9 +73,27 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.windows),
                 static_cast<unsigned long long>(r.flagged), r.detection_rate,
                 p.wilson_upper());
+
+    exp::Record rec;
+    rec.add("bench", "fig6b_misdiagnosis_mobile")
+        .add("load", config.get_double("load"))
+        .add("sample_size", sample_sizes[i])
+        .add("rate_pps", rate)
+        .add("runs", runs)
+        .add("sim_time_s", config.get_double("sim_time"))
+        .add("windows", r.windows)
+        .add("flagged", r.flagged)
+        .add("misdiagnosis_rate", r.detection_rate)
+        .add("wilson_upper_95", p.wilson_upper())
+        .add("intensity", result.measured_rho)
+        .add("handoffs", result.handoffs)
+        .add("wall_seconds", result.wall_seconds)
+        .add("threads", engine.threads());
+    sink->record(rec);
   }
   std::printf("  handoffs: %llu, measured intensity: %.3f\n",
               static_cast<unsigned long long>(result.handoffs),
               result.measured_rho);
+  sink->flush();
   return 0;
 }

@@ -5,7 +5,9 @@
 // Two saturated contenders share one receiver; one of them misbehaves with
 // increasing PM. We report each station's goodput and the Jain fairness
 // index — reproducing the DoS effect that justifies the detection
-// framework.
+// framework. Each PM point is an independent simulation; points fan out
+// across the experiment engine (--threads).
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -31,9 +33,11 @@ struct Line : phy::PositionProvider {
 struct Throughputs {
   double attacker_pps = 0;
   double honest_pps = 0;
+  double wall_seconds = 0;
 };
 
 Throughputs run(double pm, double seconds) {
+  const auto start = std::chrono::steady_clock::now();
   sim::Simulator sim;
   mac::DcfParams params;
   phy::Propagation prop(phy::PropagationParams{}, 1);
@@ -59,6 +63,9 @@ Throughputs run(double pm, double seconds) {
   Throughputs t;
   t.attacker_pps = static_cast<double>(attacker.stats().packets_acked) / seconds;
   t.honest_pps = static_cast<double>(honest.stats().packets_acked) / seconds;
+  t.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return t;
 }
 
@@ -68,6 +75,7 @@ int main(int argc, char** argv) {
   util::Config config;
   config.declare("pms", "0,25,50,65,80,90,95,100", "attacker PM values");
   config.declare("sim_time", "30", "simulated seconds per point");
+  bench::declare_engine_flags(config);
   bench::parse_or_exit(argc, argv, config,
                        "Motivation: bandwidth starvation caused by a back-off "
                        "cheater (paper Section 1).");
@@ -77,19 +85,40 @@ int main(int argc, char** argv) {
       "a misbehaving node acquires the channel more often; at high PM the "
       "honest contender is starved (denial of service)");
 
+  const auto pms = bench::get_double_list(config, "pms");
+  const double sim_time = config.get_double("sim_time");
+  exp::Engine engine = bench::make_engine(config);
+  const auto sink = bench::make_sink(config);
+
+  const std::vector<Throughputs> results = engine.map(
+      pms.size(), [&](std::size_t i) { return run(pms[i], sim_time); });
+
   std::printf("  %-5s %-14s %-14s %-8s %-9s\n", "PM", "attacker pkt/s",
               "honest pkt/s", "share", "fairness");
-  for (double pm : bench::parse_double_list(config.get("pms"))) {
-    const Throughputs t = run(pm, config.get_double("sim_time"));
+  for (std::size_t i = 0; i < pms.size(); ++i) {
+    const Throughputs& t = results[i];
     const double total = t.attacker_pps + t.honest_pps;
     const double share = total > 0 ? t.attacker_pps / total : 0;
     // Jain fairness index for two flows.
     const double denom = 2 * (t.attacker_pps * t.attacker_pps +
                               t.honest_pps * t.honest_pps);
     const double jain = denom > 0 ? total * total / denom : 1.0;
-    std::printf("  %-5.0f %-14.1f %-14.1f %-8.2f %-9.3f\n", pm, t.attacker_pps,
-                t.honest_pps, share, jain);
+    std::printf("  %-5.0f %-14.1f %-14.1f %-8.2f %-9.3f\n", pms[i],
+                t.attacker_pps, t.honest_pps, share, jain);
     std::fflush(stdout);
+
+    exp::Record rec;
+    rec.add("bench", "motivation_starvation")
+        .add("pm", pms[i])
+        .add("sim_time_s", sim_time)
+        .add("attacker_pps", t.attacker_pps)
+        .add("honest_pps", t.honest_pps)
+        .add("attacker_share", share)
+        .add("jain_fairness", jain)
+        .add("wall_seconds", t.wall_seconds)
+        .add("threads", engine.threads());
+    sink->record(rec);
   }
+  sink->flush();
   return 0;
 }

@@ -9,7 +9,10 @@
 //    sees fewer and fewer of its RTSs?
 //
 // The loss=0 row runs with no fault plan installed at all, so the clean
-// baseline is bit-identical to the pre-impairment pipeline.
+// baseline is bit-identical to the pre-impairment pipeline. Each loss
+// point spawns an honest and an attacker sweep point; all trials share
+// the experiment engine's work queue (--threads).
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -33,11 +36,12 @@ int main(int argc, char** argv) {
   config.declare("alpha", "0.01", "significance level for rejecting H0");
   config.declare("margin", "0.10",
                  "permissible back-off deficit (fraction of expected mean)");
+  bench::declare_engine_flags(config);
   bench::parse_or_exit(
       argc, argv, config,
       "Robustness: detection / false-alarm rate vs monitor frame loss.");
 
-  const auto losses = bench::parse_double_list(config.get("losses"));
+  const auto losses = bench::get_double_list(config, "losses");
   const double pm = config.get_double("pm");
   const double corrupt = config.get_double("corrupt");
   const int runs = static_cast<int>(config.get_int("runs"));
@@ -50,36 +54,52 @@ int main(int argc, char** argv) {
   net::ScenarioConfig scenario;  // Table-1 grid defaults
   scenario.sim_seconds = config.get_double("sim_time");
   scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+
+  exp::Engine engine = bench::make_engine(config);
+  const auto sink = bench::make_sink(config);
   bench::RateCache rates(scenario);
   const double rate = rates.rate_for(config.get_double("load"));
 
-  std::printf("\n  %-6s  %-22s  %-22s  %s\n", "loss",
-              "honest FA rate (win)", "pm detect rate (win)",
-              "resyncs/lost/viol (attacker)");
-
+  // Two sweep points per loss value: honest (PM=0) and attacker.
+  std::vector<detect::MultiDetectionConfig> points;
   for (double loss : losses) {
-    detect::DetectionConfig cfg;
+    detect::MultiDetectionConfig cfg;
     cfg.scenario = scenario;
     if (loss > 0.0) {
       cfg.scenario.faults.loss_probability = loss;
       cfg.scenario.faults.corrupt_probability = corrupt;
     }
     cfg.rate_pps = rate;
-    cfg.monitor.sample_size = static_cast<std::size_t>(config.get_int("sample_size"));
-    cfg.monitor.alpha = config.get_double("alpha");
-    cfg.monitor.margin_fraction = config.get_double("margin");
-    cfg.monitor.fixed_n = cfg.monitor.fixed_k = cfg.monitor.fixed_m =
-        cfg.monitor.fixed_j = 5.0;  // grid, Section 5
-    cfg.monitor.fixed_contenders = 20.0;
+    detect::MonitorConfig m;
+    m.sample_size = static_cast<std::size_t>(config.get_int("sample_size"));
+    m.alpha = config.get_double("alpha");
+    m.margin_fraction = config.get_double("margin");
+    m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;  // grid, Section 5
+    m.fixed_contenders = 20.0;
+    cfg.monitors = {m};
 
     cfg.pm = 0.0;
-    const auto honest = detect::run_detection_trials(cfg, runs);
+    points.push_back(cfg);  // honest
     cfg.pm = pm;
-    const auto attacker = detect::run_detection_trials(cfg, runs);
+    points.push_back(cfg);  // attacker
+  }
 
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = detect::run_multi_detection_sweep(points, runs, engine);
+  const double sweep_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+          .count();
+
+  std::printf("\n  %-6s  %-22s  %-22s  %s\n", "loss",
+              "honest FA rate (win)", "pm detect rate (win)",
+              "resyncs/lost/viol (attacker)");
+
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    const auto& honest = results[2 * i].per_config.at(0);
+    const auto& attacker = results[2 * i + 1].per_config.at(0);
     std::printf("  %-6.2f  %6.3f (%4llu)         %6.3f (%4llu)         "
                 "%llu/%llu/%llu\n",
-                loss, honest.detection_rate,
+                losses[i], honest.detection_rate,
                 static_cast<unsigned long long>(honest.windows),
                 attacker.detection_rate,
                 static_cast<unsigned long long>(attacker.windows),
@@ -89,6 +109,31 @@ int main(int argc, char** argv) {
                     attacker.stats.seq_off_violations +
                     attacker.stats.attempt_violations));
     std::fflush(stdout);
+
+    exp::Record rec;
+    rec.add("bench", "robustness_loss_sweep")
+        .add("loss", losses[i])
+        .add("corrupt", losses[i] > 0.0 ? corrupt : 0.0)
+        .add("pm", pm)
+        .add("load", config.get_double("load"))
+        .add("rate_pps", rate)
+        .add("runs", runs)
+        .add("sim_time_s", config.get_double("sim_time"))
+        .add("honest_windows", honest.windows)
+        .add("honest_false_alarm_rate", honest.detection_rate)
+        .add("attacker_windows", attacker.windows)
+        .add("attacker_detection_rate", attacker.detection_rate)
+        .add("attacker_seq_off_resyncs", attacker.stats.seq_off_resyncs)
+        .add("attacker_frames_lost", attacker.stats.frames_lost)
+        .add("attacker_violations", attacker.stats.seq_off_violations +
+                                        attacker.stats.attempt_violations)
+        .add("wall_seconds",
+             results[2 * i].wall_seconds + results[2 * i + 1].wall_seconds)
+        .add("threads", engine.threads());
+    sink->record(rec);
   }
+  sink->flush();
+  std::printf("\n# sweep wall-clock: %.2f s (%u threads, %zu points x %d runs)\n",
+              sweep_wall, engine.threads(), points.size(), runs);
   return 0;
 }

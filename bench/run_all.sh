@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Runs every figure/ablation bench with its --json sink enabled and merges
+# the per-bench JSON arrays into one BENCH_PR3.json object:
+#
+#   { "fig3_cond_prob_grid": [ {...}, ... ], "fig5_detection_static": [...] }
+#
+# Usage:
+#   bench/run_all.sh [build_dir] [output_json]
+#
+# Environment:
+#   THREADS           worker threads per bench (default: all hardware threads)
+#   BENCHES           space-separated subset of benches to run (default: all)
+#   MANET_RATE_CACHE  load-calibration cache file shared by all benches
+#                     (default: <output_dir>/rates.cache — each distinct
+#                     (scenario, load) point is calibrated once for the
+#                     whole batch instead of once per bench)
+#   EXTRA_FLAGS       appended to every bench invocation (e.g. --sim_time=30
+#                     for a quick smoke pass)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-build}
+out_json=${2:-BENCH_PR3.json}
+threads=${THREADS:-0}
+
+if [[ ! -d "$build_dir/bench" ]]; then
+  echo "error: $build_dir/bench not found — build first:" >&2
+  echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+
+work_dir=$(mktemp -d)
+trap 'rm -rf "$work_dir"' EXIT
+export MANET_RATE_CACHE=${MANET_RATE_CACHE:-$work_dir/rates.cache}
+
+# Sweep benches wired into the experiment engine (all accept --json and,
+# except extension_multihop, --threads).
+default_benches=(
+  fig3_cond_prob_grid
+  fig4_cond_prob_random
+  fig5_detection_static
+  fig5d_detection_mobile
+  fig6_misdiagnosis_static
+  fig6b_misdiagnosis_mobile
+  robustness_loss_sweep
+  ablation_arma_alpha
+  ablation_region_model
+  ablation_estimator
+  ablation_prs_value
+  motivation_starvation
+  extension_multihop
+)
+read -r -a benches <<< "${BENCHES:-${default_benches[*]}}"
+
+for bench in "${benches[@]}"; do
+  bin="$build_dir/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "## skipping $bench (not built)" >&2
+    continue
+  fi
+  echo "## $bench"
+  flags=(--json="$work_dir/$bench.json")
+  if [[ "$bench" != extension_multihop ]]; then
+    flags+=(--threads="$threads")
+  fi
+  # extension_multihop exits 1 on a degraded verdict; still collect its
+  # records — the JSON itself reports the failure.
+  "$bin" "${flags[@]}" ${EXTRA_FLAGS:-} || echo "## $bench exited non-zero" >&2
+done
+
+# Merge the per-bench arrays into one top-level object.
+{
+  echo "{"
+  first=1
+  for bench in "${benches[@]}"; do
+    f="$work_dir/$bench.json"
+    [[ -s "$f" ]] || continue
+    [[ $first -eq 1 ]] || echo ","
+    first=0
+    printf '"%s":\n' "$bench"
+    cat "$f"
+  done
+  echo "}"
+} > "$out_json"
+
+echo
+echo "wrote $out_json ($(grep -c '^{"' "$out_json") records from ${#benches[@]} benches)"

@@ -5,9 +5,11 @@
 //
 //   ./grid_detection                      # PM=50 at ~load 0.6
 //   ./grid_detection --pm=25 --rate=8     # subtler attacker, lighter load
+//   ./grid_detection --runs=8 --threads=4 # aggregate parallel trials
 #include <cstdio>
 
 #include "detect/experiment.hpp"
+#include "exp/engine.hpp"
 #include "util/config.hpp"
 #include "util/flags.hpp"
 
@@ -19,7 +21,10 @@ int main(int argc, char** argv) {
   config.declare("rate", "14", "per-flow packet rate (pkt/s); 14 ~ load 0.6");
   config.declare("sim_time", "120", "simulated seconds");
   config.declare("sample_size", "10", "Wilcoxon window size");
-  config.declare("seed", "42", "random seed");
+  config.declare("seed", "42", "base random seed");
+  config.declare("runs", "1", "independent trials aggregated (seeds seed..seed+runs-1)");
+  config.declare("threads", "0",
+                 "worker threads for the trials (0 = all hardware threads)");
   try {
     const auto parsed = util::parse_flags(argc, argv, config);
     if (parsed.help) {
@@ -41,9 +46,12 @@ int main(int argc, char** argv) {
   cfg.monitor.fixed_m = cfg.monitor.fixed_j = 5.0;
   cfg.monitor.fixed_contenders = 20.0;
 
+  const int runs = static_cast<int>(config.get_int("runs"));
+  exp::Engine engine(static_cast<unsigned>(config.get_int("threads")));
+
   std::printf("7x8 grid, 30 one-hop flows, tagged node at the grid center "
-              "(PM=%.0f%%)\n\n", cfg.pm);
-  const detect::DetectionResult r = detect::run_detection_experiment(cfg);
+              "(PM=%.0f%%, %d run%s)\n\n", cfg.pm, runs, runs == 1 ? "" : "s");
+  const detect::DetectionResult r = detect::run_detection_trials(cfg, runs, engine);
 
   std::printf("measured traffic intensity at the monitor : %.3f\n", r.measured_rho);
   std::printf("RTS frames observed from the tagged node  : %llu\n",

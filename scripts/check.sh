@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Full verification: plain build + tests, then the same suite under
-# AddressSanitizer + UBSan (-DMANET_SANITIZE=ON).
+# AddressSanitizer + UBSan (-DMANET_SANITIZE=ON), then a multi-threaded
+# short-sweep bench smoke under the sanitizers (races / UB in the
+# experiment engine's parallel trial fan-out would surface here).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,5 +17,29 @@ echo "== ASan + UBSan build =="
 cmake -B build-asan -S . -DMANET_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "== multi-threaded sweep smoke (ASan + UBSan) =="
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./build-asan/bench/fig5_detection_static \
+    --loads=0.6 --pms=0,50 --sim_time=20 --runs=4 --threads=4 \
+    --json="$smoke_dir/fig5.json" >/dev/null
+./build-asan/bench/fig3_cond_prob_grid \
+    --rates=10,40 --measure_time=5 --threads=4 \
+    --json="$smoke_dir/fig3.json" >/dev/null
+# The JSON artifacts must be non-empty arrays.
+for f in "$smoke_dir"/fig5.json "$smoke_dir"/fig3.json; do
+  grep -q '^{' "$f" || { echo "empty JSON sink output: $f"; exit 1; }
+done
+# Determinism: the same sweep serially must produce the identical artifact.
+./build-asan/bench/fig5_detection_static \
+    --loads=0.6 --pms=0,50 --sim_time=20 --runs=4 --threads=1 \
+    --json="$smoke_dir/fig5_serial.json" >/dev/null
+strip_timing() {  # wall-clock and thread count are the only fields allowed to differ
+  sed -E 's/, "wall_seconds": [^,}]+//; s/, "threads": [0-9]+//' "$1"
+}
+diff <(strip_timing "$smoke_dir/fig5.json") \
+     <(strip_timing "$smoke_dir/fig5_serial.json") \
+  || { echo "parallel sweep output differs from serial"; exit 1; }
 
 echo "All checks passed."

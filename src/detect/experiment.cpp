@@ -1,8 +1,11 @@
 #include "detect/experiment.hpp"
 
+#include <chrono>
 #include <functional>
 #include <stdexcept>
 
+#include "exp/seeding.hpp"
+#include "exp/sweep.hpp"
 #include "phy/joint_tracker.hpp"
 
 namespace manet::detect {
@@ -41,6 +44,59 @@ void accumulate(MonitorStats& into, const MonitorStats& from) {
   into.seq_off_resyncs += from.seq_off_resyncs;
   into.frames_lost += from.frames_lost;
   into.windows_discarded_impaired += from.windows_discarded_impaired;
+}
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// One trial of a sweep point: the point's config re-seeded per the
+/// engine's contract (seed = base + run), timed for the result sinks.
+MultiDetectionResult run_multi_detection_trial(MultiDetectionConfig config,
+                                               int run) {
+  config.scenario.seed =
+      exp::trial_seed(config.scenario.seed, static_cast<std::uint64_t>(run));
+  const auto start = std::chrono::steady_clock::now();
+  MultiDetectionResult result = run_multi_detection_experiment(config);
+  result.wall_seconds = elapsed_seconds(start);
+  return result;
+}
+
+/// Order-dependent reduction over a point's trials. Trials arrive in run
+/// order regardless of which worker produced them, so the floating-point
+/// accumulation order — and therefore every aggregate — is identical for
+/// any thread count.
+MultiDetectionResult aggregate_trials(std::size_t monitor_count,
+                                      const std::vector<MultiDetectionResult>& trials) {
+  MultiDetectionResult total;
+  total.per_config.resize(monitor_count);
+  for (const MultiDetectionResult& r : trials) {
+    total.handoffs += r.handoffs;
+    total.measured_rho += r.measured_rho;
+    total.wall_seconds += r.wall_seconds;
+    for (std::size_t i = 0; i < r.per_config.size(); ++i) {
+      DetectionResult& out = total.per_config[i];
+      out.windows += r.per_config[i].windows;
+      out.flagged += r.per_config[i].flagged;
+      out.flagged_statistical += r.per_config[i].flagged_statistical;
+      accumulate(out.stats, r.per_config[i].stats);
+    }
+  }
+  if (!trials.empty()) total.measured_rho /= static_cast<double>(trials.size());
+  for (DetectionResult& out : total.per_config) {
+    out.detection_rate = out.windows ? static_cast<double>(out.flagged) /
+                                           static_cast<double>(out.windows)
+                                     : 0.0;
+    out.statistical_rate =
+        out.windows ? static_cast<double>(out.flagged_statistical) /
+                          static_cast<double>(out.windows)
+                    : 0.0;
+    out.measured_rho = total.measured_rho;
+    out.handoffs = total.handoffs;
+    out.wall_seconds = total.wall_seconds;
+  }
+  return total;
 }
 
 }  // namespace
@@ -197,36 +253,41 @@ MultiDetectionResult run_multi_detection_experiment(const MultiDetectionConfig& 
   return result;
 }
 
+MultiDetectionResult run_multi_detection_trials(const MultiDetectionConfig& config,
+                                                int runs, exp::Engine& engine) {
+  return run_multi_detection_sweep({config}, runs, engine).at(0);
+}
+
 MultiDetectionResult run_multi_detection_trials(MultiDetectionConfig config,
                                                 int runs) {
-  MultiDetectionResult total;
-  total.per_config.resize(config.monitors.size());
-  for (int run = 0; run < runs; ++run) {
-    if (run != 0) ++config.scenario.seed;
-    const MultiDetectionResult r = run_multi_detection_experiment(config);
-    total.handoffs += r.handoffs;
-    total.measured_rho += r.measured_rho;
-    for (std::size_t i = 0; i < r.per_config.size(); ++i) {
-      DetectionResult& out = total.per_config[i];
-      out.windows += r.per_config[i].windows;
-      out.flagged += r.per_config[i].flagged;
-      out.flagged_statistical += r.per_config[i].flagged_statistical;
-      accumulate(out.stats, r.per_config[i].stats);
-    }
+  exp::Engine serial(1);
+  return run_multi_detection_trials(config, runs, serial);
+}
+
+std::vector<MultiDetectionResult> run_multi_detection_sweep(
+    const std::vector<MultiDetectionConfig>& points, int runs,
+    exp::Engine& engine) {
+  const auto per_point = exp::run_sweep(
+      engine, points, runs,
+      [](const MultiDetectionConfig& point, int run) {
+        return run_multi_detection_trial(point, run);
+      });
+  std::vector<MultiDetectionResult> aggregated;
+  aggregated.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    aggregated.push_back(aggregate_trials(points[p].monitors.size(), per_point[p]));
   }
-  if (runs > 0) total.measured_rho /= runs;
-  for (DetectionResult& out : total.per_config) {
-    out.detection_rate = out.windows ? static_cast<double>(out.flagged) /
-                                           static_cast<double>(out.windows)
-                                     : 0.0;
-    out.statistical_rate =
-        out.windows ? static_cast<double>(out.flagged_statistical) /
-                          static_cast<double>(out.windows)
-                    : 0.0;
-    out.measured_rho = total.measured_rho;
-    out.handoffs = total.handoffs;
-  }
-  return total;
+  return aggregated;
+}
+
+std::vector<CondProbResult> run_cond_prob_sweep(
+    const std::vector<CondProbConfig>& points, exp::Engine& engine) {
+  return engine.map(points.size(), [&](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    CondProbResult r = run_cond_prob_experiment(points[i]);
+    r.wall_seconds = elapsed_seconds(start);
+    return r;
+  });
 }
 
 DetectionResult run_detection_experiment(const DetectionConfig& config) {
@@ -241,7 +302,8 @@ DetectionResult run_detection_experiment(const DetectionConfig& config) {
   return run_multi_detection_experiment(multi).per_config.at(0);
 }
 
-DetectionResult run_detection_trials(DetectionConfig config, int runs) {
+DetectionResult run_detection_trials(const DetectionConfig& config, int runs,
+                                     exp::Engine& engine) {
   MultiDetectionConfig multi;
   multi.scenario = config.scenario;
   multi.rate_pps = config.rate_pps;
@@ -250,7 +312,12 @@ DetectionResult run_detection_trials(DetectionConfig config, int runs) {
   multi.warmup_s = config.warmup_s;
   multi.mobile_handoff = config.mobile_handoff;
   multi.handoff_period = config.handoff_period;
-  return run_multi_detection_trials(multi, runs).per_config.at(0);
+  return run_multi_detection_trials(multi, runs, engine).per_config.at(0);
+}
+
+DetectionResult run_detection_trials(DetectionConfig config, int runs) {
+  exp::Engine serial(1);
+  return run_detection_trials(config, runs, serial);
 }
 
 }  // namespace manet::detect

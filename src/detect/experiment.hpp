@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "detect/monitor.hpp"
+#include "exp/engine.hpp"
 #include "net/network.hpp"
 #include "net/scenario.hpp"
 
@@ -38,9 +39,17 @@ struct CondProbResult {
   double sim_p_idle_given_busy = 0.0;
   double ana_p_busy_given_idle = 0.0;
   double ana_p_idle_given_busy = 0.0;
+  /// Wall-clock spent simulating this point (not part of the deterministic
+  /// output; it feeds the benches' JSON records).
+  double wall_seconds = 0.0;
 };
 
 CondProbResult run_cond_prob_experiment(const CondProbConfig& config);
+
+/// Runs every point (one simulation each) across the engine's workers;
+/// results come back in point order, bit-identical for any thread count.
+std::vector<CondProbResult> run_cond_prob_sweep(
+    const std::vector<CondProbConfig>& points, exp::Engine& engine);
 
 // --- Detection / misdiagnosis (Figures 5-6) ---------------------------------
 
@@ -67,12 +76,22 @@ struct DetectionResult {
   double measured_rho = 0.0;    // intensity at the (initial) monitor
   std::uint64_t handoffs = 0;
   MonitorStats stats;           // aggregated over all monitors
+  /// Summed wall-clock of the aggregated trials (excluded from
+  /// determinism guarantees; everything above is bit-identical for any
+  /// worker count).
+  double wall_seconds = 0.0;
 };
 
 DetectionResult run_detection_experiment(const DetectionConfig& config);
 
-/// Convenience: detection rate aggregated over `seeds` independent runs
-/// (seed = base_seed + i). Returns total windows/flags.
+/// Convenience: detection rate aggregated over `runs` independent trials
+/// (trial i uses seed = base_seed + i, the engine's seeding contract).
+/// Trials run across the engine's workers; aggregation happens in trial
+/// order, so the result is bit-identical to a serial run.
+DetectionResult run_detection_trials(const DetectionConfig& config, int runs,
+                                     exp::Engine& engine);
+
+/// Serial convenience overload (a 1-worker engine).
 DetectionResult run_detection_trials(DetectionConfig config, int runs);
 
 // --- Multi-monitor variant ---------------------------------------------------
@@ -96,11 +115,30 @@ struct MultiDetectionResult {
   std::vector<DetectionResult> per_config;  // parallel to config.monitors
   double measured_rho = 0.0;
   std::uint64_t handoffs = 0;
+  double wall_seconds = 0.0;  // summed over trials; not deterministic
 };
 
 MultiDetectionResult run_multi_detection_experiment(const MultiDetectionConfig& config);
 
-/// Aggregates `runs` independent multi-monitor runs (consecutive seeds).
+/// Aggregates `runs` independent multi-monitor trials (seed = base + i)
+/// executed across the engine's workers; bit-identical to a serial run.
+MultiDetectionResult run_multi_detection_trials(const MultiDetectionConfig& config,
+                                                int runs, exp::Engine& engine);
+
+/// Serial convenience overload (a 1-worker engine).
 MultiDetectionResult run_multi_detection_trials(MultiDetectionConfig config, int runs);
+
+// --- Sweeps ------------------------------------------------------------------
+//
+// A sweep is a list of points (one MultiDetectionConfig each, e.g. the
+// load x PM grid of Figure 5) with `runs` trials per point. All
+// (point, trial) pairs share the engine's work queue — the parallelism a
+// bench sees is points x runs wide, not runs wide — and every point is
+// aggregated in trial order, so sweep output is bit-identical for any
+// thread count and scheduling.
+
+/// Returns one aggregated result per point, in point order.
+std::vector<MultiDetectionResult> run_multi_detection_sweep(
+    const std::vector<MultiDetectionConfig>& points, int runs, exp::Engine& engine);
 
 }  // namespace manet::detect

@@ -1,0 +1,17 @@
+#include "exp/engine.hpp"
+
+#include <thread>
+
+namespace manet::exp {
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+Engine::Engine(unsigned threads) : threads_(resolve_threads(threads)) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+}  // namespace manet::exp

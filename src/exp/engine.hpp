@@ -1,0 +1,82 @@
+// Deterministic parallel experiment engine.
+//
+// Engine::map(n, fn) evaluates fn(0) ... fn(n-1) — independent trials —
+// across a work-queue thread pool and returns the results *in index
+// order*. Because each trial derives all of its randomness from its index
+// (see exp/seeding.hpp) and aggregation happens in index order on the
+// caller's thread, the output is bit-identical for any thread count and
+// any scheduling interleaving. Exceptions thrown by trials are captured
+// and the lowest-index one is rethrown after all trials finish, so even
+// failure is deterministic.
+//
+// threads == 1 runs trials inline on the calling thread (no pool), which
+// keeps the serial path trivially equivalent to the historical loops.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exp/thread_pool.hpp"
+
+namespace manet::exp {
+
+/// Resolves a --threads style request: 0 means "all hardware threads".
+unsigned resolve_threads(unsigned requested);
+
+class Engine {
+ public:
+  /// `threads` workers; 0 picks std::thread::hardware_concurrency().
+  explicit Engine(unsigned threads = 0);
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs fn(index) for index in [0, n) and returns results in index order.
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    std::vector<std::optional<R>> slots(n);
+    if (!pool_) {
+      for (std::size_t i = 0; i < n; ++i) slots[i].emplace(fn(i));
+    } else {
+      std::vector<std::exception_ptr> errors(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        pool_->submit([&, i] {
+          try {
+            slots[i].emplace(fn(i));
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+      }
+      pool_->wait_idle();
+      for (const std::exception_ptr& e : errors) {
+        if (e) std::rethrow_exception(e);
+      }
+    }
+    std::vector<R> results;
+    results.reserve(n);
+    for (std::optional<R>& slot : slots) results.push_back(std::move(*slot));
+    return results;
+  }
+
+  /// Runs fn(index) for index in [0, n) with no result collection.
+  template <typename Fn>
+  void for_each(std::size_t n, Fn&& fn) {
+    map(n, [&fn](std::size_t i) {
+      fn(i);
+      return 0;
+    });
+  }
+
+ private:
+  unsigned threads_;
+  std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
+};
+
+}  // namespace manet::exp

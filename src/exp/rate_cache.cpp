@@ -1,0 +1,129 @@
+#include "exp/rate_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "net/network.hpp"
+
+namespace manet::exp {
+
+namespace {
+
+std::string format_load(double load) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", load);
+  return buf;
+}
+
+/// Folds every scenario field that changes the load <-> rate mapping into
+/// a single token (calibration probes depend on topology, traffic shape,
+/// mobility, MAC timing and the seed of the probe run).
+std::string make_fingerprint(const net::ScenarioConfig& s) {
+  std::ostringstream out;
+  out << "v1"
+      << "|topo=" << static_cast<int>(s.topology) << ":" << s.grid_rows << "x"
+      << s.grid_cols << ":" << s.grid_spacing_m << ":" << s.random_nodes << ":"
+      << s.area_width_m << "x" << s.area_height_m
+      << "|mob=" << static_cast<int>(s.mobility) << ":" << s.min_speed_mps << "-"
+      << s.max_speed_mps << ":" << s.pause_s
+      << "|tfc=" << static_cast<int>(s.traffic) << ":" << s.payload_bytes << ":"
+      << s.num_flows
+      << "|rt=" << static_cast<int>(s.routing) << ":"
+      << static_cast<int>(s.flow_pattern)
+      << "|seed=" << s.seed
+      << "|mac=" << s.mac.slot_time << ":" << s.mac.cw_min << ":" << s.mac.cw_max
+      << ":" << s.mac.queue_capacity << ":" << s.mac.data_rate_bps
+      << "|phy=" << s.prop.tx_range_m << ":" << s.prop.cs_range_m << ":"
+      << s.prop.shadowing_sigma_db
+      << "|flt=" << s.faults.loss_probability << ":" << s.faults.corrupt_probability;
+  return out.str();
+}
+
+/// The flow layout every detection bench calibrates against: one flow at
+/// the monitored center pair plus the configured random background flows.
+void default_setup(net::Network& net) {
+  const NodeId s = net.center_node();
+  const auto nbrs = net.neighbors(s, net.config().prop.tx_range_m, 0);
+  if (!nbrs.empty()) net.add_flow(s, nbrs.front(), 1.0);
+  net.build_random_flows();
+}
+
+}  // namespace
+
+RateCache::RateCache(net::ScenarioConfig scenario, std::string cache_file,
+                     Calibrator calibrate)
+    : scenario_(std::move(scenario)),
+      fingerprint_(make_fingerprint(scenario_)),
+      cache_file_(std::move(cache_file)),
+      calibrate_(std::move(calibrate)) {
+  if (cache_file_.empty()) {
+    if (const char* env = std::getenv("MANET_RATE_CACHE")) cache_file_ = env;
+  }
+  if (!calibrate_) {
+    calibrate_ = [](const net::ScenarioConfig& s, double load) {
+      return net::calibrate_load(s, load, default_setup);
+    };
+  }
+}
+
+RateCache::Slot& RateCache::slot_for(double load) {
+  std::lock_guard lock(mutex_);
+  auto& slot = slots_[load];
+  if (!slot) slot = std::make_unique<Slot>();
+  return *slot;
+}
+
+double RateCache::rate_for(double load) {
+  Slot& slot = slot_for(load);
+  std::call_once(slot.once, [&] {
+    double cached = 0.0;
+    if (file_lookup(load, &cached)) {
+      std::printf("# calibrated load %.2f -> %.2f pkt/s per flow (rate cache)\n",
+                  load, cached);
+      std::fflush(stdout);
+      slot.rate = cached;
+      return;
+    }
+    const net::CalibrationResult result = calibrate_(scenario_, load);
+    std::printf("# calibrated load %.2f -> %.2f pkt/s per flow "
+                "(measured busy fraction %.3f, %d probe runs)\n",
+                load, result.packets_per_second, result.measured_busy_fraction,
+                result.probe_runs);
+    std::fflush(stdout);
+    file_store(load, result.packets_per_second);
+    slot.rate = result.packets_per_second;
+  });
+  return slot.rate;
+}
+
+bool RateCache::file_lookup(double load, double* rate) const {
+  if (cache_file_.empty()) return false;
+  std::ifstream in(cache_file_);
+  if (!in) return false;
+  const std::string want_load = format_load(load);
+  std::string fp, load_text;
+  double r = 0.0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    if (!(fields >> fp >> load_text >> r)) continue;
+    if (fp == fingerprint_ && load_text == want_load) {
+      *rate = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+void RateCache::file_store(double load, double rate) const {
+  if (cache_file_.empty()) return;
+  std::ofstream out(cache_file_, std::ios::app);
+  if (!out) return;  // cache is best-effort; calibration already succeeded
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", rate);
+  out << fingerprint_ << " " << format_load(load) << " " << buf << "\n";
+}
+
+}  // namespace manet::exp

@@ -1,0 +1,62 @@
+// Shared, thread-safe offered-load calibration.
+//
+// Historically every bench binary carried its own RateCache: a plain
+// std::map that re-ran the (expensive) probe simulations per process and
+// was unsafe to touch from the engine's worker threads. This version is
+//  * concurrency-safe: per-load std::once_flag, so a load is calibrated
+//    exactly once even under concurrent rate_for() calls (callers for the
+//    same load block; different loads calibrate in parallel), and
+//  * shareable across bench processes: an optional append-only cache file
+//    (constructor argument, or $MANET_RATE_CACHE) keyed by a scenario
+//    fingerprint + load, so bench/run_all.sh pays for each calibration
+//    point once instead of once per bench.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/load.hpp"
+#include "net/scenario.hpp"
+
+namespace manet::exp {
+
+class RateCache {
+ public:
+  /// Probe hook (tests substitute a counting stub for the real simulations).
+  using Calibrator =
+      std::function<net::CalibrationResult(const net::ScenarioConfig&, double)>;
+
+  /// `cache_file` empty means "use $MANET_RATE_CACHE if set, else no file".
+  explicit RateCache(net::ScenarioConfig scenario, std::string cache_file = "",
+                     Calibrator calibrate = {});
+
+  /// Per-flow packet rate that produces `load` at the monitored pair.
+  /// Calibrates at most once per load; safe to call from worker threads.
+  double rate_for(double load);
+
+  /// Identifies the scenario in the file cache: every field that changes
+  /// the load <-> rate mapping is folded in.
+  const std::string& fingerprint() const { return fingerprint_; }
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    double rate = 0.0;
+  };
+
+  Slot& slot_for(double load);
+  bool file_lookup(double load, double* rate) const;
+  void file_store(double load, double rate) const;
+
+  net::ScenarioConfig scenario_;
+  std::string fingerprint_;
+  std::string cache_file_;
+  Calibrator calibrate_;
+  std::mutex mutex_;  // guards slots_ (not the calibration itself)
+  std::map<double, std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace manet::exp

@@ -1,0 +1,20 @@
+// The engine's seeding contract.
+//
+// Every trial of a sweep draws its randomness from a seed that is a pure
+// function of (base seed, trial index): seed(i) = base + i. This is exactly
+// the seeding the old serial loops used (`++config.scenario.seed` between
+// runs), so parallel trial fan-out reproduces historical serial results
+// bit for bit, and any single trial can be re-run in isolation by seeding
+// a scenario with trial_seed(base, i).
+#pragma once
+
+#include <cstdint>
+
+namespace manet::exp {
+
+/// Seed of trial `index` in a sweep anchored at `base`.
+constexpr std::uint64_t trial_seed(std::uint64_t base, std::uint64_t index) {
+  return base + index;
+}
+
+}  // namespace manet::exp

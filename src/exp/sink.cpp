@@ -1,0 +1,124 @@
+#include "exp/sink.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace manet::exp {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Record& Record::add(const std::string& key, double value) {
+  char buf[64];
+  if (!std::isfinite(value)) {
+    // JSON has no NaN/Inf; null keeps the record parseable.
+    fields_.emplace_back(key, "null");
+    return *this;
+  }
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  fields_.emplace_back(key, buf);
+  return *this;
+}
+
+Record& Record::add(const std::string& key, std::int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+Record& Record::add(const std::string& key, std::uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+Record& Record::add(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+Record& Record::add(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + json_escape(value) + "\"");
+  return *this;
+}
+
+std::string Record::to_json() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + json_escape(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+void MemorySink::record(const Record& r) {
+  std::lock_guard lock(mutex_);
+  records_.push_back(r);
+}
+
+std::vector<Record> MemorySink::records() const {
+  std::lock_guard lock(mutex_);
+  return records_;
+}
+
+JsonFileSink::JsonFileSink(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "w");
+  if (!file_) {
+    throw std::runtime_error("cannot open JSON sink file: " + path_);
+  }
+  std::fputs("[\n", file_);
+}
+
+JsonFileSink::~JsonFileSink() {
+  std::lock_guard lock(mutex_);
+  if (file_) {
+    std::fputs("\n]\n", file_);
+    std::fclose(file_);
+  }
+}
+
+void JsonFileSink::record(const Record& r) {
+  std::lock_guard lock(mutex_);
+  if (!first_) std::fputs(",\n", file_);
+  first_ = false;
+  std::fputs(r.to_json().c_str(), file_);
+}
+
+void JsonFileSink::flush() {
+  std::lock_guard lock(mutex_);
+  if (file_) std::fflush(file_);
+}
+
+void MultiSink::add(std::shared_ptr<ResultSink> sink) {
+  sinks_.push_back(std::move(sink));
+}
+
+void MultiSink::record(const Record& r) {
+  for (auto& s : sinks_) s->record(r);
+}
+
+void MultiSink::flush() {
+  for (auto& s : sinks_) s->flush();
+}
+
+}  // namespace manet::exp

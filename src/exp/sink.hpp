@@ -1,0 +1,108 @@
+// Structured result sinks.
+//
+// Sweep benches historically printed human tables only; the engine adds a
+// machine-readable channel: every sweep point produces one flat Record
+// (config + measured rates + wall-clock) that is pushed into a pluggable
+// ResultSink. The JSON sink writes a single well-formed JSON array with
+// one object per record — the BENCH_*.json artifacts collected by
+// bench/run_all.sh. Sinks are thread-safe: trials may record from worker
+// threads, although the benches record from the aggregation thread so the
+// record order itself stays deterministic.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace manet::exp {
+
+/// Escapes a string for embedding in a JSON string literal (no quotes).
+std::string json_escape(const std::string& text);
+
+/// One flat record: an ordered list of key -> scalar fields.
+class Record {
+ public:
+  Record& add(const std::string& key, double value);
+  Record& add(const std::string& key, std::int64_t value);
+  Record& add(const std::string& key, std::uint64_t value);
+  Record& add(const std::string& key, int value) {
+    return add(key, static_cast<std::int64_t>(value));
+  }
+  Record& add(const std::string& key, unsigned value) {
+    return add(key, static_cast<std::uint64_t>(value));
+  }
+  Record& add(const std::string& key, bool value);
+  Record& add(const std::string& key, const std::string& value);
+  Record& add(const std::string& key, const char* value) {
+    return add(key, std::string(value));
+  }
+
+  /// Renders {"key": value, ...} preserving insertion order.
+  std::string to_json() const;
+
+  bool empty() const { return fields_.empty(); }
+
+ private:
+  // Values are stored pre-rendered as JSON literals.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void record(const Record& r) = 0;
+  virtual void flush() {}
+};
+
+/// Swallows records (benches run with no --json flag).
+class NullSink final : public ResultSink {
+ public:
+  void record(const Record&) override {}
+};
+
+/// Appends every record to an in-memory list (tests, ad-hoc tooling).
+class MemorySink final : public ResultSink {
+ public:
+  void record(const Record& r) override;
+  std::vector<Record> records() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Record> records_;
+};
+
+/// Writes a JSON array of record objects to a file, one object per line.
+class JsonFileSink final : public ResultSink {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit JsonFileSink(std::string path);
+  ~JsonFileSink() override;
+
+  void record(const Record& r) override;
+  void flush() override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::mutex mutex_;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool first_ = true;
+};
+
+/// Fans every record out to several sinks (e.g. memory + JSON file).
+class MultiSink final : public ResultSink {
+ public:
+  void add(std::shared_ptr<ResultSink> sink);
+  void record(const Record& r) override;
+  void flush() override;
+
+ private:
+  std::vector<std::shared_ptr<ResultSink>> sinks_;
+};
+
+}  // namespace manet::exp

@@ -1,0 +1,40 @@
+// Generic sweep: a grid of points × independent trials per point.
+//
+// All (point, trial) pairs share one work queue, so a sweep saturates the
+// engine even when the per-point trial count is small (the common case:
+// Fig. 5 runs 24 points × 2 seeds). Results come back grouped per point,
+// trials in run order — combined with per-trial seeding (exp/seeding.hpp)
+// the reduction a caller applies over them is bit-identical for any
+// thread count.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "exp/engine.hpp"
+
+namespace manet::exp {
+
+/// Runs `runs` trials of every point through `fn(point, run_index)` and
+/// returns, per point, the trial results in run order.
+template <typename Point, typename Fn>
+auto run_sweep(Engine& engine, const std::vector<Point>& points, int runs, Fn&& fn)
+    -> std::vector<std::vector<std::invoke_result_t<Fn&, const Point&, int>>> {
+  using R = std::invoke_result_t<Fn&, const Point&, int>;
+  if (runs < 0) runs = 0;
+  const std::size_t r = static_cast<std::size_t>(runs);
+  std::vector<R> flat = engine.map(points.size() * r, [&](std::size_t i) {
+    return fn(points[i / r], static_cast<int>(i % r));
+  });
+  std::vector<std::vector<R>> grouped(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    grouped[p].reserve(r);
+    for (std::size_t k = 0; k < r; ++k) {
+      grouped[p].push_back(std::move(flat[p * r + k]));
+    }
+  }
+  return grouped;
+}
+
+}  // namespace manet::exp

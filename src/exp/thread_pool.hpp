@@ -1,0 +1,56 @@
+// A fixed-size work-queue thread pool.
+//
+// Workers pull std::function jobs off a single queue; `wait_idle` blocks
+// until every submitted job has finished. The pool itself is intentionally
+// dumb — determinism lives a layer up (exp::Engine), which assigns each
+// job an index and aggregates results in index order, so scheduling and
+// thread count never leak into experiment output.
+//
+// A pool of size 1 still runs jobs on a worker thread (uniform behavior);
+// callers that want a truly inline serial path should bypass the pool —
+// Engine does exactly that for threads == 1.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace manet::exp {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains outstanding jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a job. Jobs must not submit to the pool they run on while a
+  /// wait_idle() caller depends on them finishing (no nested fan-out).
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and no job is in flight.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace manet::exp

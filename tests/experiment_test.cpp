@@ -2,7 +2,11 @@
 // machinery the figure benches are built on.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "detect/experiment.hpp"
+#include "exp/engine.hpp"
+#include "exp/seeding.hpp"
 
 namespace manet::detect {
 namespace {
@@ -112,6 +116,96 @@ TEST(Experiment, MeasuredRhoIsLongHorizonExact) {
   const auto result = run_multi_detection_experiment(cfg);
   EXPECT_GT(result.measured_rho, 0.05);
   EXPECT_LT(result.measured_rho, 0.95);
+}
+
+TEST(Experiment, ParallelTrialsBitIdenticalToSerial) {
+  // The engine's core guarantee: aggregated output does not depend on the
+  // worker count. Exact equality, including the floating-point fields —
+  // aggregation happens in trial order on the caller's thread.
+  MultiDetectionConfig cfg;
+  cfg.scenario = tiny_grid(15);
+  cfg.rate_pps = 25;
+  cfg.pm = 60;
+  cfg.monitors = {small_monitor()};
+
+  exp::Engine serial(1), parallel(4);
+  const auto a = run_multi_detection_trials(cfg, 4, serial);
+  const auto b = run_multi_detection_trials(cfg, 4, parallel);
+
+  EXPECT_EQ(a.handoffs, b.handoffs);
+  EXPECT_EQ(a.measured_rho, b.measured_rho);  // bitwise, not near
+  ASSERT_EQ(a.per_config.size(), b.per_config.size());
+  EXPECT_EQ(a.per_config[0].windows, b.per_config[0].windows);
+  EXPECT_EQ(a.per_config[0].flagged, b.per_config[0].flagged);
+  EXPECT_EQ(a.per_config[0].flagged_statistical,
+            b.per_config[0].flagged_statistical);
+  EXPECT_EQ(a.per_config[0].detection_rate, b.per_config[0].detection_rate);
+  EXPECT_EQ(a.per_config[0].stats.samples, b.per_config[0].stats.samples);
+  EXPECT_EQ(a.per_config[0].stats.rts_observed,
+            b.per_config[0].stats.rts_observed);
+}
+
+TEST(Experiment, TrialSeedsMatchHistoricalSerialSeeding) {
+  // Trial i of run_multi_detection_trials must equal a lone experiment
+  // seeded base + i (the old `++seed` loop).
+  MultiDetectionConfig cfg;
+  cfg.scenario = tiny_grid(15);
+  cfg.rate_pps = 25;
+  cfg.pm = 60;
+  cfg.monitors = {small_monitor()};
+
+  std::uint64_t windows = 0, flagged = 0, samples = 0;
+  for (int i = 0; i < 3; ++i) {
+    MultiDetectionConfig one = cfg;
+    one.scenario.seed = exp::trial_seed(cfg.scenario.seed,
+                                        static_cast<std::uint64_t>(i));
+    const auto r = run_multi_detection_experiment(one);
+    windows += r.per_config[0].windows;
+    flagged += r.per_config[0].flagged;
+    samples += r.per_config[0].stats.samples;
+  }
+
+  exp::Engine engine(2);
+  const auto agg = run_multi_detection_trials(cfg, 3, engine);
+  EXPECT_EQ(agg.per_config[0].windows, windows);
+  EXPECT_EQ(agg.per_config[0].flagged, flagged);
+  EXPECT_EQ(agg.per_config[0].stats.samples, samples);
+}
+
+TEST(Experiment, SweepMatchesPerPointTrials) {
+  // One flattened sweep over several points must equal running each point
+  // on its own, regardless of worker count.
+  MultiDetectionConfig base;
+  base.scenario = tiny_grid(15);
+  base.rate_pps = 25;
+  base.monitors = {small_monitor()};
+
+  std::vector<MultiDetectionConfig> points;
+  for (double pm : {0.0, 60.0}) {
+    MultiDetectionConfig p = base;
+    p.pm = pm;
+    points.push_back(p);
+  }
+
+  exp::Engine engine(3);
+  const auto swept = run_multi_detection_sweep(points, 2, engine);
+  ASSERT_EQ(swept.size(), 2u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto lone = run_multi_detection_trials(points[i], 2);
+    EXPECT_EQ(swept[i].per_config[0].windows, lone.per_config[0].windows);
+    EXPECT_EQ(swept[i].per_config[0].flagged, lone.per_config[0].flagged);
+    EXPECT_EQ(swept[i].measured_rho, lone.measured_rho);
+  }
+}
+
+TEST(Experiment, EngineFailuresAreDeterministic) {
+  // An invalid point (no monitors) throws the same error through the
+  // parallel path as the serial one.
+  MultiDetectionConfig bad;
+  bad.scenario = tiny_grid(5);
+  exp::Engine engine(4);
+  EXPECT_THROW(run_multi_detection_trials(bad, 3, engine),
+               std::invalid_argument);
 }
 
 TEST(Experiment, RequiresAtLeastOneMonitor) {
