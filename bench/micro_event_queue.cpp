@@ -2,6 +2,8 @@
 // simulation second this library runs.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -39,6 +41,27 @@ void BM_ScheduleCancel(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
 }
 BENCHMARK(BM_ScheduleCancel);
+
+void BM_CancelChurnSteadyState(benchmark::State& state) {
+  // The MAC's steady-state pattern: a standing population of timers where
+  // almost every scheduled event is cancelled and replaced before firing.
+  // Exercises slot reuse and the dead-entry compaction bound.
+  EventQueue q;
+  manet::util::Xoshiro256ss rng(7);
+  std::vector<manet::sim::EventId> live(512, manet::sim::kInvalidEvent);
+  manet::SimTime t = 0;
+  for (auto& id : live) id = q.schedule(++t, [] {});
+  for (auto _ : state) {
+    const std::size_t i = rng.uniform_int(512);
+    q.cancel(live[i]);
+    live[i] = q.schedule(++t, [] {});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["heap_entries"] =
+      static_cast<double>(q.heap_entries());
+  state.counters["live"] = static_cast<double>(q.size());
+}
+BENCHMARK(BM_CancelChurnSteadyState);
 
 void BM_SimulatorSelfScheduling(benchmark::State& state) {
   // A single self-rescheduling timer: the pattern of per-node periodic work.

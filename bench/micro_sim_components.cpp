@@ -3,6 +3,7 @@
 // geometry, and a complete two-node DCF exchange through the whole stack.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <memory>
 
 #include "detect/arma.hpp"
@@ -10,6 +11,8 @@
 #include "geom/circle.hpp"
 #include "mac/backoff.hpp"
 #include "mac/dcf.hpp"
+#include "net/mobility.hpp"
+#include "net/network.hpp"
 #include "phy/channel.hpp"
 #include "sim/simulator.hpp"
 
@@ -63,28 +66,52 @@ void BM_LensArea(benchmark::State& state) {
 }
 BENCHMARK(BM_LensArea);
 
-struct FixedPositions : phy::PositionProvider {
-  geom::Vec2 position(NodeId node, SimTime) const override {
-    return {node * 200.0, 0.0};
-  }
-};
-
 void BM_FullDcfExchange(benchmark::State& state) {
-  // Cost of one complete RTS/CTS/DATA/ACK exchange through PHY+MAC.
+  // Steady-state cost of one complete RTS/CTS/DATA/ACK exchange through
+  // PHY+MAC: the stack is built once, each iteration services one packet
+  // end to end (the MAC is idle again when run() returns).
+  sim::Simulator sim;
+  mac::DcfParams params;
+  phy::Propagation prop(phy::PropagationParams{}, 1);
+  net::StaticMobility positions({{0.0, 0.0}, {200.0, 0.0}});
+  phy::Channel channel(sim, prop, positions);
+  phy::Radio r0(0, channel), r1(1, channel);
+  mac::DcfMac m0(sim, r0, params), m1(sim, r1, params);
+  std::uint64_t payload_id = 0;
   for (auto _ : state) {
-    sim::Simulator sim;
-    mac::DcfParams params;
-    phy::Propagation prop(phy::PropagationParams{}, 1);
-    FixedPositions positions;
-    phy::Channel channel(sim, prop, positions);
-    phy::Radio r0(0, channel), r1(1, channel);
-    mac::DcfMac m0(sim, r0, params), m1(sim, r1, params);
-    m0.enqueue(1, 512, 1);
+    m0.enqueue(1, 512, ++payload_id);
     sim.run();
     benchmark::DoNotOptimize(m1.stats().packets_delivered);
   }
 }
 BENCHMARK(BM_FullDcfExchange);
+
+void BM_Table1NetworkSimSecond(benchmark::State& state) {
+  // One simulated second of the paper's 56-node Table-1 static grid under
+  // the fig-5 traffic load, reported as kernel events and transmissions per
+  // wall-clock second — the sweep benches' cost in microbenchmark form.
+  std::uint64_t events = 0;
+  std::uint64_t transmissions = 0;
+  for (auto _ : state) {
+    net::ScenarioConfig cfg;
+    cfg.sim_seconds = 1;
+    cfg.num_flows = 30;
+    cfg.seed = 3;
+    net::Network nw(cfg);
+    nw.build_random_flows();
+    nw.set_flow_rates(15);
+    const SimTime stop = seconds_to_time(cfg.sim_seconds);
+    nw.start_traffic(0, stop);
+    nw.run_until(stop);
+    events += nw.simulator().dispatched_events();
+    transmissions += nw.channel().transmissions();
+  }
+  state.counters["events_per_s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["tx_per_s"] = benchmark::Counter(static_cast<double>(transmissions),
+                                                  benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Table1NetworkSimSecond);
 
 void BM_SaturatedPairSimSecond(benchmark::State& state) {
   // Simulated-seconds-per-wallclock-second for a saturated two-node link.
@@ -92,7 +119,7 @@ void BM_SaturatedPairSimSecond(benchmark::State& state) {
     sim::Simulator sim;
     mac::DcfParams params;
     phy::Propagation prop(phy::PropagationParams{}, 1);
-    FixedPositions positions;
+    net::StaticMobility positions({{0.0, 0.0}, {200.0, 0.0}});
     phy::Channel channel(sim, prop, positions);
     phy::Radio r0(0, channel), r1(1, channel);
     mac::DcfMac m0(sim, r0, params), m1(sim, r1, params);

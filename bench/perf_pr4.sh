@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Before/after measurement flow for the PR-4 kernel optimizations
+# (EventQueue slot/generation scheme, CsTimeline single-sweep accounting,
+# Channel spatial index + link-budget cache).
+#
+# Runs the fig5/fig3 sweeps and the micro benches against two builds and
+# writes one BENCH_PR4.json capturing, for each side:
+#   * wall-clock per sweep point (the per-record wall_seconds fields),
+#   * kernel events/sec and transmissions/sec (BM_Table1NetworkSimSecond),
+#   * the key micro-bench latencies/throughputs,
+# plus the computed speedups.
+#
+# It also enforces the determinism contract: the fig5 sweep artifacts from
+# both builds must be byte-identical (timing fields stripped) at --threads=1
+# AND --threads=4, each side calibrating from a fresh rate cache. Any
+# behavioral difference introduced by the optimizations fails the script.
+#
+# Usage:
+#   bench/perf_pr4.sh <before_build_dir> <after_build_dir> [output_json]
+#
+# Both build dirs should be built with the `bench` preset (Release, -O3,
+# IPO): cmake --preset bench && cmake --build --preset bench -j
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+before=${1:?usage: bench/perf_pr4.sh <before_build_dir> <after_build_dir> [out]}
+after=${2:?usage: bench/perf_pr4.sh <before_build_dir> <after_build_dir> [out]}
+out_json=${3:-BENCH_PR4.json}
+
+for d in "$before" "$after"; do
+  [[ -x "$d/bench/fig5_detection_static" ]] || {
+    echo "error: $d/bench/fig5_detection_static not built" >&2; exit 1; }
+done
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+FIG5_FLAGS=(--loads=0.6 --pms=0,50 --sim_time=20 --runs=4)
+FIG3_FLAGS=(--rates=10,40 --measure_time=5 --threads=1)
+MICRO_FILTER='BM_FullDcfExchange|BM_Table1NetworkSimSecond|BM_SaturatedPairSimSecond'
+QUEUE_FILTER='BM_ScheduleAndPop/16384|BM_CancelChurnSteadyState'
+
+measure() {  # $1 = side label, $2 = build dir
+  local side=$1 dir=$2
+  echo "== measuring $side ($dir) ==" >&2
+  # Fresh rate cache per side: calibration is part of the determinism claim.
+  MANET_RATE_CACHE="$work/$side.rates" "$dir/bench/fig5_detection_static" \
+      "${FIG5_FLAGS[@]}" --threads=1 --json="$work/$side.fig5_t1.json" >/dev/null
+  MANET_RATE_CACHE="$work/$side.rates" "$dir/bench/fig5_detection_static" \
+      "${FIG5_FLAGS[@]}" --threads=4 --json="$work/$side.fig5_t4.json" >/dev/null
+  MANET_RATE_CACHE="$work/$side.rates" "$dir/bench/fig3_cond_prob_grid" \
+      "${FIG3_FLAGS[@]}" --json="$work/$side.fig3.json" >/dev/null
+  "$dir/bench/micro_sim_components" --benchmark_filter="$MICRO_FILTER" \
+      --benchmark_format=json >"$work/$side.micro_sim.json" 2>/dev/null
+  "$dir/bench/micro_event_queue" --benchmark_filter="$QUEUE_FILTER" \
+      --benchmark_format=json >"$work/$side.micro_queue.json" 2>/dev/null
+}
+
+measure before "$before"
+measure after "$after"
+
+strip_timing() {  # wall-clock and thread count are the only fields allowed to differ
+  sed -E 's/, "wall_seconds": [^,}]+//; s/, "threads": [0-9]+//' "$1"
+}
+for t in t1 t4; do
+  diff <(strip_timing "$work/before.fig5_$t.json") \
+       <(strip_timing "$work/after.fig5_$t.json") >/dev/null || {
+    echo "FAIL: fig5 ($t) results differ between builds — optimization changed behavior" >&2
+    exit 1
+  }
+done
+diff <(strip_timing "$work/before.fig3.json") \
+     <(strip_timing "$work/after.fig3.json") >/dev/null || {
+  echo "FAIL: fig3 results differ between builds — optimization changed behavior" >&2
+  exit 1
+}
+echo "determinism: fig5 (threads 1 and 4) and fig3 artifacts byte-identical" >&2
+
+python3 - "$work" "$out_json" <<'EOF'
+import json, sys
+work, out_path = sys.argv[1], sys.argv[2]
+
+def sweep_walls(path, key):
+    """Per-sweep-point wall_seconds: one entry per distinct sweep key."""
+    points = {}
+    for rec in json.load(open(path)):
+        points.setdefault(rec[key], rec["wall_seconds"])
+    return points
+
+def micro(path):
+    out = {}
+    for b in json.load(open(path))["benchmarks"]:
+        entry = {"real_time_ns": b["real_time"]}
+        for counter in ("events_per_s", "tx_per_s", "items_per_second"):
+            if counter in b:
+                entry[counter] = b[counter]
+        out[b["name"]] = entry
+    return out
+
+result = {}
+for side in ("before", "after"):
+    fig5_t1 = sweep_walls(f"{work}/{side}.fig5_t1.json", "pm")
+    fig5_t4 = sweep_walls(f"{work}/{side}.fig5_t4.json", "pm")
+    fig3 = sweep_walls(f"{work}/{side}.fig3.json", "rate_pps")
+    result[side] = {
+        "fig5_static_wall_s_per_pm_threads1": fig5_t1,
+        "fig5_static_wall_s_per_pm_threads4": fig5_t4,
+        "fig5_static_sweep_wall_s_threads1": sum(fig5_t1.values()),
+        "fig3_grid_wall_s_per_rate": fig3,
+        "micro": micro(f"{work}/{side}.micro_sim.json") | micro(f"{work}/{side}.micro_queue.json"),
+    }
+
+def ratio(b, a):
+    return round(b / a, 3) if a else None
+
+speedup = {
+    "fig5_static_sweep_threads1": ratio(
+        result["before"]["fig5_static_sweep_wall_s_threads1"],
+        result["after"]["fig5_static_sweep_wall_s_threads1"]),
+    "fig3_grid_sweep": ratio(
+        sum(result["before"]["fig3_grid_wall_s_per_rate"].values()),
+        sum(result["after"]["fig3_grid_wall_s_per_rate"].values())),
+}
+for name, b in result["before"]["micro"].items():
+    a = result["after"]["micro"].get(name)
+    if a:
+        speedup[name] = ratio(b["real_time_ns"], a["real_time_ns"])
+
+doc = {
+    "description": "PR-4 kernel optimizations: before/after measurement "
+                   "(fig5/fig3 sweep wall-clock per point; events/sec and "
+                   "transmissions/sec from BM_Table1NetworkSimSecond)",
+    "determinism": "fig5 artifacts byte-identical before/after at "
+                   "--threads=1 and --threads=4 (timing fields stripped)",
+    "before": result["before"],
+    "after": result["after"],
+    "speedup": speedup,
+}
+json.dump(doc, open(out_path, "w"), indent=1)
+open(out_path, "a").write("\n")
+print(json.dumps(speedup, indent=1))
+EOF
+
+echo "wrote $out_json" >&2

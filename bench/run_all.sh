@@ -19,13 +19,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-build_dir=${1:-build}
+build_dir=${1:-build-bench}
 out_json=${2:-BENCH_PR3.json}
 threads=${THREADS:-0}
 
 if [[ ! -d "$build_dir/bench" ]]; then
-  echo "error: $build_dir/bench not found — build first:" >&2
-  echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  echo "error: $build_dir/bench not found — build the bench preset first:" >&2
+  echo "  cmake --preset bench && cmake --build --preset bench -j" >&2
   exit 1
 fi
 

@@ -42,4 +42,16 @@ diff <(strip_timing "$smoke_dir/fig5.json") \
      <(strip_timing "$smoke_dir/fig5_serial.json") \
   || { echo "parallel sweep output differs from serial"; exit 1; }
 
+echo "== perf smoke (ASan + UBSan) =="
+# The spatial-index / link-cache fast path must not change results: the
+# serial-vs-parallel diff above already ran on the optimized kernel; here a
+# fixed-iteration pass over the micro benches walks the optimized EventQueue,
+# CsTimeline sweep, and channel grid under the sanitizers.
+./build-asan/bench/micro_sim_components \
+    --benchmark_min_time=0 \
+    --benchmark_filter='BM_FullDcfExchange|BM_Table1NetworkSimSecond' >/dev/null
+./build-asan/bench/micro_event_queue \
+    --benchmark_min_time=0 \
+    --benchmark_filter='BM_ScheduleAndPop/1024|BM_CancelChurnSteadyState' >/dev/null
+
 echo "All checks passed."

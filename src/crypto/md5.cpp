@@ -55,6 +55,10 @@ void Md5::process_block(const std::uint8_t* block) {
 
   std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
 
+  // Fully unrolled, the per-round branch chain folds away and kSine[i] /
+  // kShift[i] / g become immediates — the digest is computed once per RTS,
+  // which put this block at the top of the exchange profile.
+#pragma GCC unroll 64
   for (int i = 0; i < 64; ++i) {
     std::uint32_t f;
     int g;
@@ -115,6 +119,17 @@ void Md5::update(std::string_view text) {
       reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
 }
 
+Md5Digest Md5::digest_bytes() const {
+  Md5Digest digest{};
+  for (int i = 0; i < 4; ++i) {
+    digest[4 * i] = static_cast<std::uint8_t>(state_[i] & 0xFF);
+    digest[4 * i + 1] = static_cast<std::uint8_t>((state_[i] >> 8) & 0xFF);
+    digest[4 * i + 2] = static_cast<std::uint8_t>((state_[i] >> 16) & 0xFF);
+    digest[4 * i + 3] = static_cast<std::uint8_t>((state_[i] >> 24) & 0xFF);
+  }
+  return digest;
+}
+
 Md5Digest Md5::finalize() {
   // Padding: a single 0x80 byte, zeros, then the 64-bit little-endian
   // bit count, aligning the total to a multiple of 64 bytes.
@@ -131,18 +146,24 @@ Md5Digest Md5::finalize() {
   }
   update(std::span<const std::uint8_t>(length_bytes, 8));
 
-  Md5Digest digest{};
-  for (int i = 0; i < 4; ++i) {
-    digest[4 * i] = static_cast<std::uint8_t>(state_[i] & 0xFF);
-    digest[4 * i + 1] = static_cast<std::uint8_t>((state_[i] >> 8) & 0xFF);
-    digest[4 * i + 2] = static_cast<std::uint8_t>((state_[i] >> 16) & 0xFF);
-    digest[4 * i + 3] = static_cast<std::uint8_t>((state_[i] >> 24) & 0xFF);
-  }
-  return digest;
+  return digest_bytes();
 }
 
 Md5Digest Md5::hash(std::span<const std::uint8_t> data) {
   Md5 ctx;
+  if (data.size() <= 55) {
+    // Messages that pad into a single compression (the frame fingerprints
+    // are 16 bytes) skip the incremental buffering entirely.
+    std::uint8_t block[64] = {};
+    if (!data.empty()) std::memcpy(block, data.data(), data.size());
+    block[data.size()] = 0x80;
+    const std::uint64_t bits = static_cast<std::uint64_t>(data.size()) * 8;
+    for (int i = 0; i < 8; ++i) {
+      block[56 + i] = static_cast<std::uint8_t>((bits >> (8 * i)) & 0xFF);
+    }
+    ctx.process_block(block);
+    return ctx.digest_bytes();
+  }
   ctx.update(data);
   return ctx.finalize();
 }

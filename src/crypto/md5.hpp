@@ -38,6 +38,7 @@ class Md5 {
 
  private:
   void process_block(const std::uint8_t* block);
+  Md5Digest digest_bytes() const;
 
   std::uint32_t state_[4];
   std::uint64_t bit_count_ = 0;

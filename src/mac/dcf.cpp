@@ -166,24 +166,32 @@ void DcfMac::backoff_complete() {
 }
 
 void DcfMac::transmit_frame(const Frame& frame, OwnTxKind kind) {
-  auto payload = std::make_shared<const Frame>(frame);
-  const SimDuration airtime = frame_airtime(frame, params_);
+  transmit_payload(std::make_shared<const Frame>(frame), kind);
+}
+
+void DcfMac::transmit_payload(FramePtr frame, OwnTxKind kind) {
+  const SimDuration airtime = frame_airtime(*frame, params_);
   const SimTime start = sim_.now();
-  const std::uint64_t signal_id = radio_.transmit(std::move(payload), airtime);
-  own_tx_kind_.emplace(signal_id, kind);
+  const std::uint64_t signal_id = radio_.transmit(frame, airtime);
+  assert(!own_tx_active_);
+  own_tx_id_ = signal_id;
+  own_tx_kind_ = kind;
+  own_tx_active_ = true;
   // Observers (monitors) also see this node's own frames, with air times —
   // a monitor that is the tagged node's receiver brackets the tagged node's
-  // back-off window with its own CTS/ACK transmissions.
+  // back-off window with its own CTS/ACK transmissions. Capturing the
+  // shared payload (not a Frame copy) keeps the closure inside the event
+  // queue's inline buffer.
   if (!observers_.empty()) {
-    const Frame copy = frame;
-    sim_.at(start + airtime, [this, copy, start] {
-      for (auto* obs : observers_) obs->on_frame(copy, start, sim_.now());
+    sim_.at(start + airtime, [this, frame = std::move(frame), start] {
+      for (auto* obs : observers_) obs->on_frame(*frame, start, sim_.now());
     });
   }
 }
 
 void DcfMac::schedule_response(const Frame& response, OwnTxKind kind) {
-  sim_.after(params_.sifs, [this, response, kind] {
+  sim_.after(params_.sifs,
+             [this, frame = std::make_shared<const Frame>(response), kind]() mutable {
     if (radio_.transmitting()) return;  // should not happen; drop response
     switch (kind) {
       case OwnTxKind::kCts: ++stats_.cts_sent; break;
@@ -191,15 +199,15 @@ void DcfMac::schedule_response(const Frame& response, OwnTxKind kind) {
       case OwnTxKind::kData: ++stats_.data_sent; break;
       case OwnTxKind::kRts: break;
     }
-    transmit_frame(response, kind);
+    transmit_payload(std::move(frame), kind);
   });
 }
 
 void DcfMac::on_transmit_end(std::uint64_t signal_id) {
-  const auto it = own_tx_kind_.find(signal_id);
-  assert(it != own_tx_kind_.end());
-  const OwnTxKind kind = it->second;
-  own_tx_kind_.erase(it);
+  assert(own_tx_active_ && signal_id == own_tx_id_);
+  (void)signal_id;
+  const OwnTxKind kind = own_tx_kind_;
+  own_tx_active_ = false;
 
   switch (kind) {
     case OwnTxKind::kRts:

@@ -130,6 +130,7 @@ class DcfMac : public phy::RadioListener {
   void freeze_countdown();
   void backoff_complete();
   void transmit_frame(const Frame& frame, OwnTxKind kind);
+  void transmit_payload(FramePtr frame, OwnTxKind kind);
   void schedule_response(const Frame& response, OwnTxKind kind);
   void handle_cts_timeout();
   void handle_ack_timeout();
@@ -172,7 +173,11 @@ class DcfMac : public phy::RadioListener {
   std::uint64_t nav_epoch_ = 0;    // invalidates pending NAV-reset checks
   SimTime last_busy_rise_ = -1;    // most recent idle->busy edge
 
-  std::unordered_map<std::uint64_t, OwnTxKind> own_tx_kind_;  // signal id -> kind
+  // The half-duplex radio carries at most one own transmission at a time,
+  // so a single inline slot tracks the in-flight signal's id and kind.
+  std::uint64_t own_tx_id_ = 0;
+  OwnTxKind own_tx_kind_ = OwnTxKind::kRts;
+  bool own_tx_active_ = false;
   std::unordered_map<NodeId, std::uint64_t> delivered_from_;  // dedup cache
 };
 

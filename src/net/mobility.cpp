@@ -33,7 +33,18 @@ RandomWaypoint::Leg RandomWaypoint::make_leg(util::Xoshiro256ss& rng,
 void RandomWaypoint::advance_to(NodeState& st, SimTime at) const {
   while (at >= st.leg.next_start) {
     st.leg = make_leg(st.rng, st.leg.to, st.leg.next_start);
+    ++st.leg_index;
   }
+}
+
+std::uint64_t RandomWaypoint::position_epoch(NodeId node, SimTime at) const {
+  NodeState& st = nodes_.at(node);
+  if (at < st.leg.start) at = st.leg.start;  // clamp rewinds like position()
+  advance_to(st, at);
+  // Stationary only during the pause [arrive, next_start); the leg index
+  // distinguishes successive pauses at different waypoints.
+  if (at >= st.leg.arrive && params_.pause > 0) return st.leg_index;
+  return phy::kMovingEpoch;
 }
 
 geom::Vec2 RandomWaypoint::position(NodeId node, SimTime at) const {

@@ -28,6 +28,11 @@ class StaticMobility : public phy::PositionProvider {
     return positions_.at(node);
   }
 
+  /// Positions never change: one epoch forever, so every link budget the
+  /// channel derives from them is cacheable for the whole run.
+  std::uint64_t position_epoch(NodeId, SimTime) const override { return 0; }
+  double max_speed_mps() const override { return 0.0; }
+
   std::size_t size() const { return positions_.size(); }
 
  private:
@@ -52,6 +57,13 @@ class RandomWaypoint : public phy::PositionProvider {
 
   geom::Vec2 position(NodeId node, SimTime at) const override;
 
+  /// A node parked at a waypoint (the pause phase of a leg) is stationary:
+  /// its epoch is stable until the next departure, letting the channel
+  /// reuse link budgets across the pause. While traveling the position
+  /// changes continuously, so the epoch reports kMovingEpoch.
+  std::uint64_t position_epoch(NodeId node, SimTime at) const override;
+  double max_speed_mps() const override { return params_.max_speed; }
+
   const RandomWaypointParams& params() const { return params_; }
 
  private:
@@ -66,6 +78,7 @@ class RandomWaypoint : public phy::PositionProvider {
   struct NodeState {
     util::Xoshiro256ss rng;
     Leg leg;
+    std::uint64_t leg_index = 0;  // feeds the pause-phase position epoch
   };
 
   void advance_to(NodeState& st, SimTime at) const;

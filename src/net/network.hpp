@@ -45,6 +45,7 @@ class Network {
 
   const ScenarioConfig& config() const { return config_; }
   sim::Simulator& simulator() { return sim_; }
+  phy::Channel& channel() { return *channel_; }
 
   std::size_t size() const { return nodes_.size(); }
   Node& node(NodeId id) { return *nodes_.at(id); }

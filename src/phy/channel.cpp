@@ -1,5 +1,7 @@
 #include "phy/channel.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -8,16 +10,32 @@
 
 namespace manet::phy {
 
+namespace {
+// Below this many radios the grid's 3x3 cell probe costs more than simply
+// walking every attach index; the link-budget cache applies either way.
+constexpr std::size_t kDirectScanRadios = 16;
+}  // namespace
+
 Channel::Channel(sim::Simulator& simulator, Propagation& propagation,
                  const PositionProvider& positions)
-    : sim_(simulator), prop_(propagation), positions_(positions) {}
+    : sim_(simulator), prop_(propagation), positions_(positions) {
+  // Slack sized so rebuilds stay rare (at 20 m/s a quarter of the 550 m
+  // sensing range buys ~6.9 s between rebuilds) while keeping the candidate
+  // neighborhood a 3x3 block of cells.
+  slack_m_ = 0.25 * prop_.params().cs_range_m;
+  cell_m_ = prop_.params().cs_range_m + slack_m_;
+  const double limit = prop_.params().cs_range_m + slack_m_;
+  prefilter_limit_sq_ = limit * limit;
+}
 
 void Channel::attach(Radio* radio) {
   if (by_id_.count(radio->id()) != 0) {
     throw std::invalid_argument("duplicate radio id attached to channel");
   }
+  const auto index = static_cast<std::uint32_t>(radios_.size());
+  by_id_.emplace(radio->id(), index);
+  radio->set_channel_index(index);
   radios_.push_back(radio);
-  by_id_.emplace(radio->id(), radio);
 }
 
 void Channel::install_faults(FaultInjector& faults) {
@@ -27,32 +45,122 @@ void Channel::install_faults(FaultInjector& faults) {
     if (it == by_id_.end()) {
       throw std::invalid_argument("fault outage names an unattached radio");
     }
-    Radio* radio = it->second;
+    Radio* radio = radios_[it->second];
     sim_.at(o.start, [radio] { radio->set_outage(true); });
     sim_.at(o.stop, [radio] { radio->set_outage(false); });
   }
 }
 
-std::uint64_t Channel::transmit(NodeId tx, PayloadPtr payload, SimDuration airtime) {
+bool Channel::grid_usable() const {
+  // Shadowing draws one RNG deviate per rx_power_dbm call and can lift a
+  // node beyond cs_range above the threshold, so any pre-filtering would
+  // change both the draw sequence and the audible set: full scan only.
+  // An unbounded speed means recorded cells can go arbitrarily stale.
+  return spatial_index_enabled_ && prop_.params().shadowing_sigma_db == 0.0 &&
+         positions_.max_speed_mps() != kUnboundedSpeed;
+}
+
+void Channel::maybe_rebuild_grid(SimTime now) {
+  if (grid_radios_ == radios_.size()) {
+    const double max_speed = positions_.max_speed_mps();
+    if (max_speed <= 0.0) return;  // static: never stale
+    const double drift_m =
+        time_to_seconds(now - grid_built_at_) * max_speed;
+    if (drift_m <= slack_m_) return;  // recorded cells still conservative
+  }
+  grid_.clear();
+  grid_pos_.resize(radios_.size());
+  const double inv_cell = 1.0 / cell_m_;
+  for (std::uint32_t i = 0; i < radios_.size(); ++i) {
+    const geom::Vec2 p = positions_.position(radios_[i]->id(), now);
+    grid_pos_[i] = p;
+    const auto cx = static_cast<std::int32_t>(std::floor(p.x * inv_cell));
+    const auto cy = static_cast<std::int32_t>(std::floor(p.y * inv_cell));
+    grid_[cell_key(cx, cy)].push_back(i);
+  }
+  grid_built_at_ = now;
+  grid_radios_ = radios_.size();
+  ++cache_stats_.grid_rebuilds;
+}
+
+void Channel::collect_candidates(const geom::Vec2& tx_pos,
+                                 std::vector<std::uint32_t>& out) const {
+  out.clear();
+  const double inv_cell = 1.0 / cell_m_;
+  const auto cx = static_cast<std::int32_t>(std::floor(tx_pos.x * inv_cell));
+  const auto cy = static_cast<std::int32_t>(std::floor(tx_pos.y * inv_cell));
+  for (std::int32_t dx = -1; dx <= 1; ++dx) {
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      const auto it = grid_.find(cell_key(cx + dx, cy + dy));
+      if (it == grid_.end()) continue;
+      for (const std::uint32_t idx : it->second) {
+        const geom::Vec2 d = grid_pos_[idx] - tx_pos;
+        if (d.x * d.x + d.y * d.y <= prefilter_limit_sq_) {
+          out.push_back(idx);
+        }
+      }
+    }
+  }
+  // Attach order: the fault injector's RNG stream must be consumed in the
+  // same receiver order as the reference full scan.
+  std::sort(out.begin(), out.end());
+}
+
+double Channel::link_power(std::uint32_t tx_idx, std::uint32_t rx_idx,
+                           std::uint64_t tx_epoch, const geom::Vec2& tx_pos,
+                           SimTime at) {
+  const std::size_t n = radios_.size();
+  if (tx_epoch != kMovingEpoch) {
+    const std::uint64_t rx_epoch =
+        positions_.position_epoch(radios_[rx_idx]->id(), at);
+    if (rx_epoch != kMovingEpoch) {
+      if (link_cache_.size() != n * n) {
+        link_cache_.assign(n * n, LinkCacheEntry{});
+      }
+      LinkCacheEntry& e = link_cache_[tx_idx * n + rx_idx];
+      if (e.tx_epoch == tx_epoch && e.rx_epoch == rx_epoch) {
+        ++cache_stats_.link_budget_hits;
+        return e.power_dbm;
+      }
+      const double power = prop_.rx_power_dbm(
+          tx_pos, positions_.position(radios_[rx_idx]->id(), at));
+      ++cache_stats_.link_budget_misses;
+      e = LinkCacheEntry{tx_epoch, rx_epoch, power};
+      // Path loss depends only on distance: fill the reverse link too.
+      link_cache_[static_cast<std::size_t>(rx_idx) * n + tx_idx] =
+          LinkCacheEntry{rx_epoch, tx_epoch, power};
+      return power;
+    }
+  }
+  ++cache_stats_.link_budget_misses;
+  return prop_.rx_power_dbm(tx_pos,
+                            positions_.position(radios_[rx_idx]->id(), at));
+}
+
+std::uint64_t Channel::transmit(Radio* tx, PayloadPtr payload, SimDuration airtime) {
   const std::uint64_t id = next_signal_id_++;
+  const NodeId tx_id = tx->id();
   const SimTime start = sim_.now();
   const SimTime end = start + airtime;
-  const geom::Vec2 tx_pos = positions_.position(tx, start);
+  const geom::Vec2 tx_pos = positions_.position(tx_id, start);
   // The fault RNG stream is consumed only for enabled plans, keeping
   // fault-free runs bit-identical to a build without the injector.
   const bool faulty = faults_ != nullptr && faults_->enabled();
+  const double cs_threshold = prop_.cs_threshold_dbm();
+  const double base_rx_threshold = prop_.rx_threshold_dbm();
+  const double capture_db = prop_.params().capture_threshold_db;
 
-  for (Radio* rx : radios_) {
-    if (rx->id() == tx) continue;
-    if (rx->in_outage()) continue;  // deaf: not even energy arrives
-    const geom::Vec2 rx_pos = positions_.position(rx->id(), start);
-    const double power = prop_.rx_power_dbm(tx_pos, rx_pos);
-    if (power < prop_.cs_threshold_dbm()) continue;  // inaudible
+  std::vector<Radio*> receivers;
+  if (!receiver_pool_.empty()) {
+    receivers = std::move(receiver_pool_.back());
+    receiver_pool_.pop_back();
+  }
 
-    Signal signal{id, tx, payload, start, end, power};
-    double rx_threshold = prop_.rx_threshold_dbm();
+  auto deliver = [&](Radio* rx, double power) {
+    Signal signal{id, tx_id, payload, start, end, power};
+    double rx_threshold = base_rx_threshold;
     if (faulty && power >= rx_threshold) {
-      switch (faults_->decode_fate(tx, rx->id())) {
+      switch (faults_->decode_fate(tx_id, rx->id())) {
         case DecodeFate::kIntact:
           break;
         case DecodeFate::kLost:
@@ -66,12 +174,64 @@ std::uint64_t Channel::transmit(NodeId tx, PayloadPtr payload, SimDuration airti
           break;
       }
     }
-    rx->signal_start(signal, rx_threshold, prop_.params().capture_threshold_db);
-    sim_.at(end, [rx, signal] { rx->signal_end(signal); });
+    rx->signal_start(signal, rx_threshold, capture_db);
+    receivers.push_back(rx);
+  };
+
+  if (grid_usable()) {
+    // Take the scratch buffer: signal_start below can re-enter transmit(),
+    // and the nested call must not rewrite the list this call iterates.
+    std::vector<std::uint32_t> candidates = std::move(candidates_scratch_);
+    candidates_scratch_ = {};
+    if (radios_.size() <= kDirectScanRadios) {
+      // Tiny topology: walking every radio is cheaper than the 3x3 cell
+      // probe, and the per-pair budgets below still come from the cache.
+      // "Every index, attach order" is trivially the grid's superset.
+      for (std::uint32_t i = 0; i < radios_.size(); ++i) candidates.push_back(i);
+    } else {
+      maybe_rebuild_grid(start);
+      collect_candidates(tx_pos, candidates);
+    }
+    receivers.reserve(candidates.size());
+    const std::uint32_t tx_idx = tx->channel_index();
+    const std::uint64_t tx_epoch = positions_.position_epoch(tx_id, start);
+    for (const std::uint32_t rx_idx : candidates) {
+      Radio* rx = radios_[rx_idx];
+      if (rx_idx == tx_idx) continue;
+      if (rx->in_outage()) continue;  // deaf: not even energy arrives
+      const double power = link_power(tx_idx, rx_idx, tx_epoch, tx_pos, start);
+      if (power < cs_threshold) continue;  // inaudible
+      deliver(rx, power);
+    }
+    // Recycle the buffer (the innermost return wins; deeper buffers are
+    // simply dropped — nesting is rare).
+    candidates.clear();
+    candidates_scratch_ = std::move(candidates);
+  } else {
+    // Reference path: exact original full scan (also the only correct path
+    // under shadowing, where every delivery draws a shadowing deviate).
+    ++cache_stats_.full_scans;
+    receivers.reserve(radios_.size());
+    for (Radio* rx : radios_) {
+      if (rx == tx) continue;
+      if (rx->in_outage()) continue;
+      const geom::Vec2 rx_pos = positions_.position(rx->id(), start);
+      const double power = prop_.rx_power_dbm(tx_pos, rx_pos);
+      if (power < cs_threshold) continue;
+      deliver(rx, power);
+    }
   }
 
-  Radio* self = by_id_.at(tx);
-  sim_.at(end, [self, id] { self->own_transmit_end(id); });
+  // One end-of-air event finishes every delivery and the transmitter, in
+  // the same relative order the per-receiver events used to run (they were
+  // scheduled back-to-back at `end`, so no foreign event could interleave).
+  // The emptied receiver list goes back to the pool afterwards.
+  sim_.at(end, [this, tx, id, receivers = std::move(receivers)]() mutable {
+    for (Radio* rx : receivers) rx->signal_end(id);
+    tx->own_transmit_end(id);
+    receivers.clear();
+    if (receiver_pool_.size() < 64) receiver_pool_.push_back(std::move(receivers));
+  });
   return id;
 }
 

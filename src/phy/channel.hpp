@@ -1,17 +1,38 @@
 // The shared wireless medium.
 //
 // On each transmission the channel computes the received power at every
-// attached radio from the current node positions and delivers
-// signal-start / signal-end notifications to radios whose received power
-// clears the carrier-sense threshold. Propagation delay is not modeled
-// (< 2 us across the 550 m sensing range, small against the 20 us slot);
-// this matches the slot-synchronous abstraction of the paper's analysis.
+// radio that could possibly hear it and delivers signal-start /
+// signal-end notifications to radios whose received power clears the
+// carrier-sense threshold. Propagation delay is not modeled (< 2 us across
+// the 550 m sensing range, small against the 20 us slot); this matches the
+// slot-synchronous abstraction of the paper's analysis.
+//
+// Two kernel optimizations keep per-transmission cost off the sweep
+// critical path (see DESIGN.md §4e):
+//
+//  * a uniform spatial grid keyed by the carrier-sense range pre-filters
+//    the O(N) radio scan down to the radios whose cells can clear the CS
+//    threshold. Cells carry a slack margin sized so that nodes moving at
+//    the provider's speed bound cannot escape the candidate neighborhood
+//    between rebuilds; candidates are visited in attach order, so the
+//    fault-injector RNG stream is consumed exactly as in a full scan;
+//  * per-pair link budgets are cached under the provider's position
+//    epochs: a static scenario computes each rx_power_dbm exactly once,
+//    and waypoint pauses reuse budgets until a node moves again.
+//
+// Both paths are exact (never approximate): the grid is a conservative
+// superset filter and the final audibility decision always uses the same
+// power comparison as the full scan, so results are bit-identical. With
+// shadowing enabled (sigma > 0) rx_power_dbm draws from the shadowing RNG
+// per delivery, so both optimizations disable themselves to preserve the
+// draw sequence.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "geom/vec2.hpp"
 #include "phy/propagation.hpp"
 #include "phy/signal.hpp"
 #include "sim/simulator.hpp"
@@ -34,9 +55,9 @@ class Channel {
   /// ids must resolve); the injector must outlive the channel's use of it.
   void install_faults(FaultInjector& faults);
 
-  /// Starts a transmission of `payload` lasting `airtime` from `tx`.
-  /// Returns the signal id.
-  std::uint64_t transmit(NodeId tx, PayloadPtr payload, SimDuration airtime);
+  /// Starts a transmission of `payload` lasting `airtime` from `tx` (an
+  /// attached radio). Returns the signal id.
+  std::uint64_t transmit(Radio* tx, PayloadPtr payload, SimDuration airtime);
 
   sim::Simulator& simulator() { return sim_; }
   const Propagation& propagation() const { return prop_; }
@@ -44,14 +65,73 @@ class Channel {
   /// Total transmissions started (diagnostics).
   std::uint64_t transmissions() const { return next_signal_id_ - 1; }
 
+  /// Test hook: disables the spatial index + link-budget cache, forcing the
+  /// reference full-scan delivery path. Determinism tests compare traces
+  /// (and fault-RNG consumption) between the two paths.
+  void set_spatial_index_enabled(bool enabled) { spatial_index_enabled_ = enabled; }
+
+  struct CacheStats {
+    std::uint64_t link_budget_hits = 0;
+    std::uint64_t link_budget_misses = 0;
+    std::uint64_t grid_rebuilds = 0;
+    std::uint64_t full_scans = 0;  // transmissions served by the slow path
+  };
+  const CacheStats& cache_stats() const { return cache_stats_; }
+
  private:
+  struct LinkCacheEntry {
+    std::uint64_t tx_epoch = kMovingEpoch;  // kMovingEpoch == invalid
+    std::uint64_t rx_epoch = kMovingEpoch;
+    double power_dbm = 0.0;
+  };
+
+  static std::uint64_t cell_key(std::int32_t cx, std::int32_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint32_t>(cy);
+  }
+
+  bool grid_usable() const;
+  void maybe_rebuild_grid(SimTime now);
+  /// Fills `out` (sorted attach indices) with every radio within
+  /// cs_range + slack of `tx_pos` according to the grid's recorded
+  /// positions — a superset of the truly audible set.
+  void collect_candidates(const geom::Vec2& tx_pos,
+                          std::vector<std::uint32_t>& out) const;
+  /// Received power tx -> rx through the epoch-keyed cache (symmetric: a
+  /// miss fills both directions, as path loss depends only on distance).
+  double link_power(std::uint32_t tx_idx, std::uint32_t rx_idx,
+                    std::uint64_t tx_epoch, const geom::Vec2& tx_pos, SimTime at);
+
   sim::Simulator& sim_;
   Propagation& prop_;
   const PositionProvider& positions_;
   FaultInjector* faults_ = nullptr;
-  std::vector<Radio*> radios_;
-  std::unordered_map<NodeId, Radio*> by_id_;
+  std::vector<Radio*> radios_;                    // in attach order
+  std::unordered_map<NodeId, std::uint32_t> by_id_;  // id -> attach index
   std::uint64_t next_signal_id_ = 1;
+
+  // Spatial index (valid when grid_radios_ == radios_.size()).
+  bool spatial_index_enabled_ = true;
+  double cell_m_ = 0.0;
+  double slack_m_ = 0.0;
+  double prefilter_limit_sq_ = 0.0;
+  SimTime grid_built_at_ = 0;
+  std::size_t grid_radios_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> grid_;
+  std::vector<geom::Vec2> grid_pos_;              // per radio, at rebuild time
+  // Recycled candidate buffer. transmit() *takes* it (swap) rather than
+  // iterating the member directly: delivering a signal can synchronously
+  // re-enter transmit() (a MAC responding from a capture-induced receive
+  // error), and a nested call must not clobber the list the outer call is
+  // still walking. The nested call simply starts from an empty vector.
+  std::vector<std::uint32_t> candidates_scratch_;
+  // Recycled receiver lists: each transmission hands its audible-receiver
+  // list to the end-of-air event, which returns the emptied vector here
+  // instead of freeing it — one malloc/free pair per transmission saved.
+  std::vector<std::vector<Radio*>> receiver_pool_;
+
+  std::vector<LinkCacheEntry> link_cache_;        // N*N, row = tx attach index
+  CacheStats cache_stats_;
 };
 
 }  // namespace manet::phy

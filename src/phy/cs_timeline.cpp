@@ -40,9 +40,14 @@ void CsTimeline::on_outage(bool deaf, SimTime at) {
 SimDuration CsTimeline::outage_time(SimTime from, SimTime to) const {
   assert(from <= to);
   SimDuration total = 0;
-  for (const OutageSpan& o : outages_) {
-    const SimTime lo = std::max(from, o.start);
-    const SimTime hi = std::min(to, o.stop);
+  // Completed spans are disjoint and sorted; skip everything that ended at
+  // or before `from` instead of scanning the whole retained history.
+  auto it = std::lower_bound(
+      outages_.begin(), outages_.end(), from,
+      [](const OutageSpan& o, SimTime v) { return o.stop <= v; });
+  for (; it != outages_.end() && it->start < to; ++it) {
+    const SimTime lo = std::max(from, it->start);
+    const SimTime hi = std::min(to, it->stop);
     if (hi > lo) total += hi - lo;
   }
   if (in_outage_) {
@@ -69,6 +74,81 @@ bool CsTimeline::busy_at(SimTime t) const {
 SimDuration CsTimeline::busy_time(SimTime from, SimTime to) const {
   assert(from <= to);
   if (from == to) return 0;
+  SimDuration busy = 0;
+  for_each_segment(from, to, [&](SimTime a, SimTime b, bool state) {
+    if (state) busy += b - a;
+  });
+  return busy;
+}
+
+SlotCounts CsTimeline::count_slots(SimTime from, SimTime to, SimDuration slot) const {
+  assert(slot > 0);
+  SlotCounts counts;
+  if (from + slot > to) return counts;
+
+  // One merged walk: the transition iterator advances monotonically across
+  // all slots, so a window costs O(log T + transitions + slots) instead of
+  // one binary search plus scan per slot.
+  auto it = std::upper_bound(
+      transitions_.begin(), transitions_.end(), from,
+      [](SimTime v, const Transition& tr) { return v < tr.at; });
+  bool state = it == transitions_.begin() ? initial_busy_ : std::prev(it)->busy;
+
+  bool prev_slot_idle = false;
+  for (SimTime t = from; t + slot <= to; t += slot) {
+    const SimTime slot_end = t + slot;
+    // A slot is busy iff some positive-length busy span intersects it —
+    // the same predicate as busy_time(t, slot_end) > 0.
+    bool slot_busy = false;
+    SimTime cursor = t;
+    for (; it != transitions_.end() && it->at < slot_end; ++it) {
+      if (state && it->at > cursor) slot_busy = true;
+      cursor = it->at;
+      state = it->busy;
+    }
+    if (state && slot_end > cursor) slot_busy = true;
+
+    if (slot_busy) {
+      ++counts.busy;
+      prev_slot_idle = false;
+    } else {
+      ++counts.idle;
+      if (!prev_slot_idle) ++counts.idle_periods;
+      prev_slot_idle = true;
+    }
+  }
+  return counts;
+}
+
+std::vector<std::pair<SimTime, SimTime>> CsTimeline::busy_intervals(
+    SimTime from, SimTime to) const {
+  std::vector<std::pair<SimTime, SimTime>> out;
+  for_each_segment(from, to, [&](SimTime a, SimTime b, bool state) {
+    if (state && b > a) out.emplace_back(a, b);
+  });
+  return out;
+}
+
+SimDuration CsTimeline::countable_idle_time(SimTime from, SimTime to,
+                                            SimDuration difs) const {
+  assert(from <= to);
+  SimDuration countable = 0;
+  for_each_segment(from, to, [&](SimTime a, SimTime b, bool state) {
+    if (!state && b - a > difs) countable += b - a - difs;
+  });
+  return countable;
+}
+
+double CsTimeline::busy_fraction(SimTime from, SimTime to) const {
+  if (to <= from) return 0.0;
+  return static_cast<double>(busy_time(from, to)) / static_cast<double>(to - from);
+}
+
+// --- Reference oracle (pre-optimization implementations, kept verbatim) -----
+
+SimDuration CsTimeline::busy_time_reference(SimTime from, SimTime to) const {
+  assert(from <= to);
+  if (from == to) return 0;
 
   SimDuration busy = 0;
   SimTime cursor = from;
@@ -86,12 +166,13 @@ SimDuration CsTimeline::busy_time(SimTime from, SimTime to) const {
   return busy;
 }
 
-SlotCounts CsTimeline::count_slots(SimTime from, SimTime to, SimDuration slot) const {
+SlotCounts CsTimeline::count_slots_reference(SimTime from, SimTime to,
+                                             SimDuration slot) const {
   assert(slot > 0);
   SlotCounts counts;
   bool prev_slot_idle = false;
   for (SimTime t = from; t + slot <= to; t += slot) {
-    const bool slot_busy = busy_time(t, t + slot) > 0;
+    const bool slot_busy = busy_time_reference(t, t + slot) > 0;
     if (slot_busy) {
       ++counts.busy;
       prev_slot_idle = false;
@@ -104,26 +185,8 @@ SlotCounts CsTimeline::count_slots(SimTime from, SimTime to, SimDuration slot) c
   return counts;
 }
 
-std::vector<std::pair<SimTime, SimTime>> CsTimeline::busy_intervals(
-    SimTime from, SimTime to) const {
-  std::vector<std::pair<SimTime, SimTime>> out;
-  SimTime cursor = from;
-  bool state = busy_at(from);
-
-  auto it = std::upper_bound(
-      transitions_.begin(), transitions_.end(), from,
-      [](SimTime v, const Transition& tr) { return v < tr.at; });
-  for (; it != transitions_.end() && it->at < to; ++it) {
-    if (state && it->at > cursor) out.emplace_back(cursor, it->at);
-    cursor = it->at;
-    state = it->busy;
-  }
-  if (state && to > cursor) out.emplace_back(cursor, to);
-  return out;
-}
-
-SimDuration CsTimeline::countable_idle_time(SimTime from, SimTime to,
-                                            SimDuration difs) const {
+SimDuration CsTimeline::countable_idle_time_reference(SimTime from, SimTime to,
+                                                      SimDuration difs) const {
   assert(from <= to);
   SimDuration countable = 0;
   SimTime cursor = from;
@@ -146,9 +209,19 @@ SimDuration CsTimeline::countable_idle_time(SimTime from, SimTime to,
   return countable;
 }
 
-double CsTimeline::busy_fraction(SimTime from, SimTime to) const {
-  if (to <= from) return 0.0;
-  return static_cast<double>(busy_time(from, to)) / static_cast<double>(to - from);
+SimDuration CsTimeline::outage_time_reference(SimTime from, SimTime to) const {
+  assert(from <= to);
+  SimDuration total = 0;
+  for (const OutageSpan& o : outages_) {
+    const SimTime lo = std::max(from, o.start);
+    const SimTime hi = std::min(to, o.stop);
+    if (hi > lo) total += hi - lo;
+  }
+  if (in_outage_) {
+    const SimTime lo = std::max(from, outage_start_);
+    if (to > lo) total += to - lo;
+  }
+  return total;
 }
 
 }  // namespace manet::phy

@@ -8,6 +8,7 @@
 // 300 s runs.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <utility>
@@ -83,12 +84,43 @@ class CsTimeline : public RadioListener {
   /// converting observed idle time into candidate back-off slots.
   SimDuration countable_idle_time(SimTime from, SimTime to, SimDuration difs) const;
 
+  // --- Reference oracle ------------------------------------------------------
+  // Naive implementations retained verbatim from before the single-sweep
+  // optimization. Property tests assert the optimized queries agree with
+  // them on arbitrary transition histories; they are NOT meant for
+  // production use (count_slots_reference is O(W log T) per window).
+  SlotCounts count_slots_reference(SimTime from, SimTime to, SimDuration slot) const;
+  SimDuration busy_time_reference(SimTime from, SimTime to) const;
+  SimDuration countable_idle_time_reference(SimTime from, SimTime to,
+                                            SimDuration difs) const;
+  SimDuration outage_time_reference(SimTime from, SimTime to) const;
+
   std::size_t recorded_transitions() const { return transitions_.size(); }
 
  private:
   void prune(SimTime now);
   /// Channel state at absolute time t (assumes t >= earliest retained).
   bool busy_at(SimTime t) const;
+
+  /// One merged walk over the retained transitions: invokes
+  /// `segment(seg_start, seg_end, busy)` for every maximal constant-state
+  /// span intersected with [from, to], in order. All windowed queries share
+  /// this cursor-based sweep (one upper_bound, then a linear scan), so each
+  /// costs O(log T + transitions inside the window).
+  template <class SegmentFn>
+  void for_each_segment(SimTime from, SimTime to, SegmentFn&& segment) const {
+    SimTime cursor = from;
+    auto it = std::upper_bound(
+        transitions_.begin(), transitions_.end(), from,
+        [](SimTime v, const Transition& tr) { return v < tr.at; });
+    bool state = it == transitions_.begin() ? initial_busy_ : std::prev(it)->busy;
+    for (; it != transitions_.end() && it->at < to; ++it) {
+      segment(cursor, it->at, state);
+      cursor = it->at;
+      state = it->busy;
+    }
+    segment(cursor, to, state);
+  }
 
   struct Transition {
     SimTime at;

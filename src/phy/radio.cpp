@@ -8,6 +8,7 @@
 namespace manet::phy {
 
 Radio::Radio(NodeId id, Channel& channel) : id_(id), channel_(channel) {
+  incident_.reserve(8);
   channel.attach(this);
 }
 
@@ -17,7 +18,7 @@ std::uint64_t Radio::transmit(PayloadPtr payload, SimDuration airtime) {
   // Transmitting while locked onto a frame corrupts that reception.
   if (receiving_) rx_corrupted_ = true;
   notify_carrier_if_changed();
-  return channel_.transmit(id_, std::move(payload), airtime);
+  return channel_.transmit(this, std::move(payload), airtime);
 }
 
 void Radio::set_outage(bool deaf) {
@@ -38,7 +39,7 @@ void Radio::set_outage(bool deaf) {
 void Radio::signal_start(const Signal& signal, double rx_threshold_dbm,
                          double capture_threshold_db) {
   if (outage_) return;  // deaf: not even energy
-  incident_.emplace(signal.id, signal);
+  incident_.push_back(signal);
 
   if (transmitting_) {
     // Half duplex: we cannot decode anything while transmitting; the energy
@@ -55,8 +56,8 @@ void Radio::signal_start(const Signal& signal, double rx_threshold_dbm,
   } else if (signal.rx_power_dbm >= rx_threshold_dbm) {
     // Lock onto this frame if no comparable interference is already present.
     bool blocked = false;
-    for (const auto& [sid, s] : incident_) {
-      if (sid == signal.id) continue;
+    for (const Signal& s : incident_) {
+      if (s.id == signal.id) continue;
       if (s.rx_power_dbm > signal.rx_power_dbm - capture_threshold_db) {
         blocked = true;
         break;
@@ -69,8 +70,14 @@ void Radio::signal_start(const Signal& signal, double rx_threshold_dbm,
   notify_carrier_if_changed();
 }
 
-void Radio::signal_end(const Signal& signal) {
-  incident_.erase(signal.id);
+void Radio::signal_end(std::uint64_t signal_id) {
+  auto it = incident_.begin();
+  for (; it != incident_.end(); ++it) {
+    if (it->id == signal_id) break;
+  }
+  if (it == incident_.end()) return;  // outage wiped it; nothing to finish
+  const Signal signal = std::move(*it);
+  incident_.erase(it);
 
   if (receiving_ && signal.id == rx_signal_.id) {
     receiving_ = false;

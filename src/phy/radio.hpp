@@ -13,8 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "phy/signal.hpp"
@@ -68,9 +66,18 @@ class Radio {
   bool in_outage() const { return outage_; }
 
   // --- Channel-facing interface ---
+  /// Attach-order index assigned by Channel::attach; lets the channel map
+  /// a transmitting radio to its grid/cache row without a hash lookup.
+  void set_channel_index(std::uint32_t index) { channel_index_ = index; }
+  std::uint32_t channel_index() const { return channel_index_; }
   void signal_start(const Signal& signal, double rx_threshold_dbm,
                     double capture_threshold_db);
-  void signal_end(const Signal& signal);
+  /// Ends the previously-started signal `id`. The radio finishes with its
+  /// own stored copy of the delivery (the channel does not need to retain
+  /// per-receiver signals until end-of-air). A no-op when the signal is no
+  /// longer tracked (an outage wiped it), matching the outage semantics:
+  /// a deaf radio saw the energy vanish already.
+  void signal_end(std::uint64_t signal_id);
   void own_transmit_end(std::uint64_t signal_id);
 
  private:
@@ -78,9 +85,13 @@ class Radio {
 
   NodeId id_;
   Channel& channel_;
+  std::uint32_t channel_index_ = 0;
   std::vector<RadioListener*> listeners_;
 
-  std::unordered_map<std::uint64_t, Signal> incident_;  // audible signals
+  // Audible signals. A flat vector: concurrent in-flight signals at one
+  // receiver are few (bounded by simultaneous transmitters in CS range),
+  // so linear scans beat a hash map and per-delivery rehashing.
+  std::vector<Signal> incident_;
   bool transmitting_ = false;
   bool last_carrier_ = false;
   bool outage_ = false;

@@ -1,19 +1,27 @@
 // Pending-event set for the discrete-event kernel.
 //
-// A binary heap keyed by (time, sequence number). The sequence number makes
-// dispatch order total and deterministic: events scheduled earlier run
-// first among equal timestamps (FIFO), which is what protocol code expects.
+// A binary heap of small POD entries keyed by (time, sequence number). The
+// sequence number makes dispatch order total and deterministic: events
+// scheduled earlier run first among equal timestamps (FIFO), which is what
+// protocol code expects.
+//
+// Callables live outside the heap in a slot table (reused via a free list)
+// so heap sift operations move 24-byte PODs, not closures, and the
+// small-buffer EventFn keeps typical MAC timers off the allocator entirely.
+// An EventId encodes (slot, generation); the generation is bumped whenever
+// a slot is cancelled or dispatched, so stale ids can never alias a reused
+// slot — cancel() and pending() are O(1) with no hash table.
+//
 // Cancellation is lazy: a cancelled entry stays in the heap and is skipped
-// at pop time, keeping cancel() O(1) — MAC back-off logic cancels timers
-// constantly. Liveness is tracked by a pending-id set, so cancelling an
-// already-dispatched or never-issued id is a harmless no-op.
+// at pop time (detected by its stale generation). To bound memory under
+// cancel-heavy back-off workloads, the heap is compacted in place whenever
+// dead entries outnumber live ones, so heap size stays O(live events).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "util/small_function.hpp"
 #include "util/types.hpp"
 
 namespace manet::sim {
@@ -21,7 +29,10 @@ namespace manet::sim {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
-using EventFn = std::function<void()>;
+/// 48 bytes of inline storage covers every closure the simulator's hot
+/// paths schedule (channel delivery fan-out, MAC timers); larger captures
+/// fall back to one heap allocation, exactly like std::function always did.
+using EventFn = util::SmallFunction<void(), 48>;
 
 class EventQueue {
  public:
@@ -34,13 +45,16 @@ class EventQueue {
   void cancel(EventId id);
 
   /// True if `id` is scheduled and not yet dispatched or cancelled.
-  bool pending(EventId id) const { return pending_.count(id) != 0; }
+  bool pending(EventId id) const {
+    const std::uint32_t slot = slot_of(id);
+    return slot < slots_.size() && slots_[slot].generation == generation_of(id);
+  }
 
   /// True if no live (non-cancelled) events remain.
-  bool empty() const { return pending_.empty(); }
+  bool empty() const { return live_ == 0; }
 
   /// Number of live events.
-  std::size_t size() const { return pending_.size(); }
+  std::size_t size() const { return live_; }
 
   /// Timestamp of the earliest live event; kTimeNever when empty.
   SimTime next_time();
@@ -56,24 +70,54 @@ class EventQueue {
   /// Drops all pending events.
   void clear();
 
+  /// Heap entries currently held, including lazily-cancelled (dead) ones.
+  /// Compaction keeps this O(size()); exposed so tests can assert the
+  /// bound under cancel-heavy workloads.
+  std::size_t heap_entries() const { return heap_.size(); }
+
  private:
-  struct Entry {
+  // An id packs the slot index (low 32 bits) and the slot's generation at
+  // issue time (high 32 bits). Generations start at 1, so no id is ever 0.
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  static std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
+
+  struct Entry {  // 24-byte POD moved by heap sifts
     SimTime time;
-    EventId id;
-    EventFn fn;
+    std::uint64_t seq;       // schedule order; total tie-break at equal times
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation = 1;  // bumped on cancel/dispatch; odd history fine
+  };
+
+  bool entry_live(const Entry& e) const {
+    return slots_[e.slot].generation == e.generation;
+  }
+  void release_slot(std::uint32_t slot);
   void drop_dead_head();
+  void compact();
 
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> pending_;
-  EventId next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace manet::sim

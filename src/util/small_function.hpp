@@ -1,0 +1,127 @@
+// Move-only callable wrapper with inline (small-buffer) storage.
+//
+// std::function heap-allocates almost every capturing lambda the simulator
+// schedules (libstdc++ gives it 16 bytes of inline space); at millions of
+// events per simulated second that allocation — plus the matching free at
+// dispatch — dominates the event-kernel profile. SmallFunction stores
+// callables up to `Capacity` bytes in place and falls back to the heap only
+// for oversized ones, and being move-only it also accepts non-copyable
+// captures (unique_ptr and friends), which std::function rejects.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace manet::util {
+
+template <class Signature, std::size_t Capacity = 48>
+class SmallFunction;
+
+template <class R, class... Args, std::size_t Capacity>
+class SmallFunction<R(Args...), Capacity> {
+ public:
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, SmallFunction> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vtable_ = &inline_vtable<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vtable_ = &heap_vtable<D>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { steal(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* from, void* to);  // move-construct into `to`, destroy `from`
+    void (*destroy)(void*);
+  };
+
+  template <class D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <class D>
+  static constexpr VTable inline_vtable = {
+      [](void* p, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<D*>(p)))(std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) {
+        D* f = std::launder(reinterpret_cast<D*>(from));
+        ::new (to) D(std::move(*f));
+        f->~D();
+      },
+      [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); },
+  };
+
+  template <class D>
+  static constexpr VTable heap_vtable = {
+      [](void* p, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<D**>(p)))(std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) {
+        D** f = std::launder(reinterpret_cast<D**>(from));
+        ::new (to) D*(*f);
+        *f = nullptr;
+      },
+      [](void* p) { delete *std::launder(reinterpret_cast<D**>(p)); },
+  };
+
+  void steal(SmallFunction& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      other.vtable_->relocate(other.buf_, buf_);
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+};
+
+}  // namespace manet::util

@@ -13,6 +13,7 @@
 #include "detect/monitor.hpp"
 #include "mac/backoff.hpp"
 #include "mac/dcf.hpp"
+#include "net/mobility.hpp"
 #include "net/scenario.hpp"
 #include "phy/channel.hpp"
 #include "phy/cs_timeline.hpp"
@@ -382,6 +383,137 @@ TEST(Monitor, DecodedHistoryStaysBounded) {
   EXPECT_GT(mon.stats().samples, 1000u);
   EXPECT_LE(std::max(peak, mon.decoded_retained()), 64u);
   EXPECT_TRUE(mon.sample_log().empty());
+}
+
+// --- Spatial index: bit-identical to the reference full scan -----------------
+//
+// Channel::transmit's grid prefilter and link-budget cache must be invisible:
+// same deliveries, same per-receiver order (the fault injector draws one RNG
+// decision per delivered frame, so any reordering or dropped receiver shifts
+// the whole fault schedule), same carrier edges. We run the identical
+// impaired scenario with the index on and off and require identical traces
+// and identical fault-RNG consumption.
+
+struct DeliveryTrace : phy::RadioListener {
+  // (time, kind, signal id): kind 0=carrier-off 1=carrier-on 2=rx 3=rx-error.
+  std::vector<std::tuple<SimTime, int, std::uint64_t>> events;
+  void on_carrier(bool busy, SimTime at) override {
+    events.emplace_back(at, busy ? 1 : 0, 0);
+  }
+  void on_receive(const phy::Signal& s) override { events.emplace_back(s.end, 2, s.id); }
+  void on_receive_error(const phy::Signal& s) override {
+    events.emplace_back(s.end, 3, s.id);
+  }
+  void on_transmit_end(std::uint64_t) override {}
+};
+
+struct GridRunResult {
+  std::vector<std::tuple<SimTime, int, std::uint64_t>> trace;  // all nodes, merged
+  std::uint64_t fault_decisions = 0;
+  phy::Channel::CacheStats stats;
+};
+
+GridRunResult run_grid_scenario(bool spatial_index, bool mobile) {
+  sim::Simulator sim;
+  phy::Propagation prop(phy::PropagationParams{}, /*shadowing_seed=*/1);
+
+  // 5x5 grid, 300 m spacing: multiple grid cells at the 687.5 m cell size,
+  // several audible neighbors per node, some beyond sensing range.
+  std::vector<geom::Vec2> layout;
+  for (int y = 0; y < 5; ++y)
+    for (int x = 0; x < 5; ++x) layout.push_back({x * 300.0, y * 300.0});
+
+  std::unique_ptr<phy::PositionProvider> positions;
+  if (mobile) {
+    // Compressed-time waypoint motion: fast legs and long pauses so the run
+    // actually contains waypoint arrivals, simultaneous pauses (epoch-cache
+    // hits), and enough drift to force grid rebuilds.
+    net::RandomWaypointParams rwp;
+    rwp.width = 600.0;
+    rwp.height = 600.0;
+    rwp.min_speed = 100.0;
+    rwp.max_speed = 200.0;
+    rwp.pause = 5 * kSecond;
+    positions = std::make_unique<net::RandomWaypoint>(layout, rwp, 5);
+  } else {
+    positions = std::make_unique<net::StaticMobility>(layout);
+  }
+
+  phy::Channel channel(sim, prop, *positions);
+  channel.set_spatial_index_enabled(spatial_index);
+
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  std::vector<std::unique_ptr<DeliveryTrace>> traces;
+  for (NodeId i = 0; i < layout.size(); ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(i, channel));
+    traces.push_back(std::make_unique<DeliveryTrace>());
+    radios.back()->add_listener(traces.back().get());
+  }
+
+  phy::FaultPlan plan;
+  plan.loss_probability = 0.3;
+  plan.corrupt_probability = 0.2;
+  plan.outages.push_back({7, 2 * kSecond, 5 * kSecond});
+  phy::FaultInjector injector(plan, 9);
+  channel.install_faults(injector);
+
+  // Staggered pairs of near-simultaneous transmissions from rotating
+  // sources: overlapping airtimes produce collisions, captures, and busy
+  // carriers. The mobile run is spread over ~80 s so legs complete and
+  // pauses overlap; the static one packs the same count into ~8 s.
+  const SimTime spacing = (mobile ? 130 : 13) * kMillisecond;
+  const auto payload = std::make_shared<const mac::Frame>();
+  auto fire = [&radios](NodeId src, phy::PayloadPtr p) {
+    if (!radios[src]->transmitting()) {
+      radios[src]->transmit(std::move(p), 500 * kMicrosecond);
+    }
+  };
+  for (std::size_t k = 0; k < 600; ++k) {
+    const NodeId a = static_cast<NodeId>(k % layout.size());
+    const NodeId b = static_cast<NodeId>((k * 7 + 3) % layout.size());
+    const SimTime at = static_cast<SimTime>(k) * spacing;
+    sim.at(at, [&fire, a, payload] { fire(a, payload); });
+    sim.at(at + 200 * kMicrosecond, [&fire, b, payload] { fire(b, payload); });
+  }
+  sim.run();
+
+  GridRunResult out;
+  out.fault_decisions = injector.decisions();
+  out.stats = channel.cache_stats();
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    for (const auto& e : traces[i]->events) {
+      out.trace.emplace_back(std::get<0>(e), std::get<1>(e) + 10 * static_cast<int>(i),
+                             std::get<2>(e));
+    }
+  }
+  return out;
+}
+
+TEST(SpatialIndex, StaticScenarioMatchesFullScanExactly) {
+  const GridRunResult fast = run_grid_scenario(/*spatial_index=*/true, /*mobile=*/false);
+  const GridRunResult ref = run_grid_scenario(/*spatial_index=*/false, /*mobile=*/false);
+  EXPECT_EQ(fast.trace, ref.trace);
+  // Identical fault-RNG consumption proves candidates were visited in
+  // attach order — any other order permutes per-receiver fates.
+  EXPECT_EQ(fast.fault_decisions, ref.fault_decisions);
+  // The fast run actually took the fast path, and static link budgets were
+  // computed once: every repeat delivery is a cache hit.
+  EXPECT_EQ(fast.stats.full_scans, 0u);
+  EXPECT_EQ(fast.stats.grid_rebuilds, 1u);
+  EXPECT_GT(fast.stats.link_budget_hits, fast.stats.link_budget_misses);
+  EXPECT_GT(ref.stats.full_scans, 0u);
+}
+
+TEST(SpatialIndex, MobileScenarioMatchesFullScanExactly) {
+  const GridRunResult fast = run_grid_scenario(/*spatial_index=*/true, /*mobile=*/true);
+  const GridRunResult ref = run_grid_scenario(/*spatial_index=*/false, /*mobile=*/true);
+  EXPECT_EQ(fast.trace, ref.trace);
+  EXPECT_EQ(fast.fault_decisions, ref.fault_decisions);
+  EXPECT_EQ(fast.stats.full_scans, 0u);
+  // Movement invalidates the grid: it must have been rebuilt along the way.
+  EXPECT_GT(fast.stats.grid_rebuilds, 1u);
+  // Long pauses make some links cacheable even under mobility.
+  EXPECT_GT(fast.stats.link_budget_hits, 0u);
 }
 
 }  // namespace

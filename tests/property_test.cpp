@@ -11,6 +11,7 @@
 #include "mac/dcf.hpp"
 #include "net/mobility.hpp"
 #include "phy/channel.hpp"
+#include "phy/cs_timeline.hpp"
 #include "sim/simulator.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
@@ -183,6 +184,60 @@ TEST_P(PmSweep, UsedSlotsNeverExceedDictated) {
 INSTANTIATE_TEST_SUITE_P(PmValues, PmSweep,
                          ::testing::Values(10.0, 25.0, 50.0, 65.0, 80.0, 90.0,
                                            100.0));
+
+// --- CsTimeline: single-sweep queries agree with the reference oracle --------
+//
+// The optimized busy_time / countable_idle_time / count_slots / outage_time
+// share one merged cursor walk; the *_reference methods are the verbatim
+// pre-optimization implementations. Random transition histories — redundant
+// edges, outage overlap, short retention so windows straddle the pruning
+// horizon — must produce identical answers from both.
+
+class CsTimelineOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsTimelineOracle, SweepQueriesMatchReference) {
+  util::Xoshiro256ss rng(GetParam());
+  phy::CsTimeline tl(2 * kSecond);  // short retention exercises pruning
+  SimTime t = 0;
+  bool busy = false;
+  bool deaf = false;
+  int queries = 0;
+  for (int step = 0; step < 6000; ++step) {
+    t += 1 + static_cast<SimTime>(rng.uniform_int(3 * kMillisecond));
+    const double r = rng.uniform();
+    if (r < 0.40) {
+      busy = !busy;
+      tl.on_carrier(busy, t);
+    } else if (r < 0.50) {
+      deaf = !deaf;
+      tl.on_outage(deaf, t);
+    } else if (r < 0.58) {
+      tl.on_carrier(busy, t);  // redundant edge: must be a no-op
+    } else {
+      // Query windows deliberately straddle the pruning horizon, the live
+      // edge, and empty ranges.
+      SimTime from = t > 3 * kSecond ? t - 3 * kSecond : 0;
+      from += static_cast<SimTime>(rng.uniform_int(3 * kSecond));
+      const SimTime to = from + static_cast<SimTime>(rng.uniform_int(60 * kMillisecond));
+      EXPECT_EQ(tl.busy_time(from, to), tl.busy_time_reference(from, to));
+      EXPECT_EQ(tl.outage_time(from, to), tl.outage_time_reference(from, to));
+      const SimDuration difs = 10 + static_cast<SimDuration>(rng.uniform_int(100));
+      EXPECT_EQ(tl.countable_idle_time(from, to, difs),
+                tl.countable_idle_time_reference(from, to, difs));
+      const SimDuration slot = 20 * (1 + static_cast<SimDuration>(rng.uniform_int(1000)));
+      const phy::SlotCounts a = tl.count_slots(from, to, slot);
+      const phy::SlotCounts b = tl.count_slots_reference(from, to, slot);
+      EXPECT_EQ(a.busy, b.busy) << "from=" << from << " to=" << to << " slot=" << slot;
+      EXPECT_EQ(a.idle, b.idle);
+      EXPECT_EQ(a.idle_periods, b.idle_periods);
+      ++queries;
+    }
+  }
+  EXPECT_GT(queries, 1000);  // the trial actually exercised the queries
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsTimelineOracle,
+                         ::testing::Values(11u, 12u, 13u, 14u));
 
 }  // namespace
 }  // namespace manet

@@ -72,6 +72,50 @@ TEST(EventQueue, SizeCountsOnlyLiveEvents) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, SlotReuseInvalidatesStaleIds) {
+  EventQueue q;
+  const EventId a = q.schedule(10, [] {});
+  q.cancel(a);
+  const EventId b = q.schedule(11, [] {});  // may reuse a's slot
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.pending(a));
+  EXPECT_TRUE(q.pending(b));
+  q.cancel(a);  // the stale id must not kill the reused slot
+  EXPECT_TRUE(q.pending(b));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().id, b);
+}
+
+TEST(EventQueue, HeapStaysBoundedWhenCancelsDominate) {
+  // The MAC's back-off pattern: a standing population of timers where
+  // nearly every scheduled event is cancelled and replaced before firing.
+  // Lazy cancellation must not let dead heap entries accumulate.
+  EventQueue q;
+  manet::util::Xoshiro256ss rng(99);
+  std::vector<EventId> live(64, kInvalidEvent);
+  SimTime t = 0;
+  for (auto& id : live) id = q.schedule(++t, [] {});
+  for (int i = 0; i < 100000; ++i) {
+    const std::size_t k = rng.uniform_int(live.size());
+    q.cancel(live[k]);
+    live[k] = q.schedule(++t, [] {});
+  }
+  EXPECT_EQ(q.size(), live.size());
+  // Compaction keeps dead entries at most on par with live ones (modulo
+  // the small-heap threshold below which compaction never bothers).
+  EXPECT_LE(q.heap_entries(), 2 * q.size() + 64);
+  // And exactly the live set dispatches, in time order.
+  std::size_t popped = 0;
+  SimTime prev = 0;
+  while (!q.empty()) {
+    const auto d = q.pop();
+    EXPECT_GT(d.time, prev);
+    prev = d.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, live.size());
+}
+
 TEST(Simulator, ClockAdvancesWithEvents) {
   Simulator sim;
   std::vector<SimTime> times;
