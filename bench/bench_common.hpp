@@ -47,6 +47,26 @@ inline void declare_engine_flags(util::Config& config) {
                  "write one JSON record per sweep point to this file");
 }
 
+/// Declares --monitor_impl for detection benches: "hub" (shared
+/// ObservationHub per monitoring node, the optimized pipeline) or
+/// "reference" (private hub per monitor, structurally the pre-hub
+/// pipeline). Results are bit-identical either way — perf_pr5.sh diffs
+/// them — so the flag is deliberately NOT part of the JSON records.
+inline void declare_monitor_impl_flag(util::Config& config) {
+  config.declare("monitor_impl", "hub",
+                 "detection pipeline: hub (shared per-node observation hub) "
+                 "or reference (private per-monitor state; perf baseline)");
+}
+
+/// share_hub value for the --monitor_impl flag; exits on unknown values.
+inline bool share_hub_from(const util::Config& config) {
+  const std::string& impl = config.get("monitor_impl");
+  if (impl == "hub") return true;
+  if (impl == "reference") return false;
+  std::fprintf(stderr, "flag error: --monitor_impl must be hub or reference\n");
+  std::exit(1);
+}
+
 inline exp::Engine make_engine(const util::Config& config) {
   const long long threads = config.get_int("threads");
   if (threads < 0) {

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   config.declare("margin", "0.10",
                  "permissible back-off deficit (fraction of expected mean)");
   bench::declare_engine_flags(config);
+  bench::declare_monitor_impl_flag(config);
   bench::parse_or_exit(
       argc, argv, config,
       "Figure 5(a)-(c): probability of correct diagnosis vs PM, static grid.");
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
       cfg.scenario = scenario;
       cfg.rate_pps = load_rates[li];
       cfg.pm = pm;
+      cfg.share_hub = bench::share_hub_from(config);
       for (double ss : sample_sizes) {
         detect::MonitorConfig m;
         m.sample_size = static_cast<std::size_t>(ss);

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   config.declare("max_speed", "20", "random waypoint max speed (m/s)");
   config.declare("pause", "0", "random waypoint pause time (s)");
   bench::declare_engine_flags(config);
+  bench::declare_monitor_impl_flag(config);
   bench::parse_or_exit(argc, argv, config,
                        "Figure 5(d): probability of correct diagnosis with "
                        "mobility (random waypoint), load 0.6.");
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
     cfg.rate_pps = rate;
     cfg.pm = pm;
     cfg.mobile_handoff = true;
+    cfg.share_hub = bench::share_hub_from(config);
     for (double ss : sample_sizes) {
       detect::MonitorConfig m;
       m.sample_size = static_cast<std::size_t>(ss);

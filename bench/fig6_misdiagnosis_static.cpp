@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   config.declare("alpha", "0.01", "significance level");
   config.declare("margin", "0.10", "permissible deficit fraction");
   bench::declare_engine_flags(config);
+  bench::declare_monitor_impl_flag(config);
   bench::parse_or_exit(argc, argv, config,
                        "Figure 6(a): probability of misdiagnosis vs sample "
                        "size, static grid.");
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
     cfg.scenario = scenario;
     cfg.rate_pps = load_rates[li];
     cfg.pm = 0.0;  // everyone is honest
+    cfg.share_hub = bench::share_hub_from(config);
     for (double ss : sample_sizes) {
       detect::MonitorConfig m;
       m.sample_size = static_cast<std::size_t>(ss);

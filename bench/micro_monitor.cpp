@@ -1,0 +1,102 @@
+// Microbenchmarks of the detection pipeline itself: complete
+// run_multi_detection_experiment simulations on a small Table-1 grid,
+// comparing the shared-ObservationHub pipeline (share_hub=true) against
+// the private-per-monitor reference (share_hub=false, structurally the
+// pre-hub pipeline). Both variants produce bit-identical WindowResult
+// sequences — the wall-clock gap is pure overhead removed by sharing the
+// decoded-frame ring, density estimator, ARMA tracker, and the per-window
+// interval-set memo across a node's monitors.
+//
+// The all-pairs variants put the full monitor-config grid on each of the
+// 4 neighbors of a dense 3x3 grid's center (the
+// bench/fig_allpairs_monitoring.cpp workload; Arg = configs per node, so
+// Arg=12 is 48 monitors); the single-monitor variants show the hub's
+// overhead when nothing is shared.
+#include <benchmark/benchmark.h>
+
+#include "detect/experiment.hpp"
+
+namespace {
+
+using namespace manet;
+
+// `monitor_configs` is a (sample size x margin) grid, the kind of
+// parameter sweep the fig benches run side by side on one simulation.
+detect::MultiDetectionConfig workload(bool all_pairs, bool share_hub,
+                                      std::size_t monitor_configs) {
+  detect::MultiDetectionConfig cfg;
+  cfg.scenario.grid_rows = 3;  // one contention domain around the center
+  cfg.scenario.grid_cols = 3;
+  cfg.scenario.num_flows = 8;
+  cfg.scenario.sim_seconds = 5;
+  cfg.scenario.seed = 1201;
+  cfg.rate_pps = 40.0;
+  cfg.pm = 50.0;
+  cfg.all_pairs = all_pairs;
+  cfg.share_hub = share_hub;
+  const std::size_t sample_sizes[] = {10, 25, 50, 100};
+  for (std::size_t i = 0; i < monitor_configs; ++i) {
+    detect::MonitorConfig m;
+    m.sample_size = sample_sizes[i % 4];
+    m.margin_fraction = 0.05 + 0.05 * static_cast<double>(i / 4);
+    m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;
+    m.fixed_contenders = 20.0;
+    cfg.monitors.push_back(m);
+  }
+  return cfg;
+}
+
+void run_workload(benchmark::State& state, bool all_pairs, bool share_hub,
+                  std::size_t monitor_configs) {
+  const auto cfg = workload(all_pairs, share_hub, monitor_configs);
+  double sim_seconds = 0.0;
+  std::uint64_t windows = 0;
+  std::uint64_t monitor_nodes = 0;
+  for (auto _ : state) {
+    const auto result = detect::run_multi_detection_experiment(cfg);
+    sim_seconds += cfg.scenario.sim_seconds;
+    for (const auto& r : result.per_config) windows += r.windows;
+    monitor_nodes = result.monitor_nodes;
+    benchmark::DoNotOptimize(result.per_config.front().flagged);
+  }
+  state.counters["sim_s_per_s"] =
+      benchmark::Counter(sim_seconds, benchmark::Counter::kIsRate);
+  state.counters["monitors"] =
+      static_cast<double>(monitor_nodes * monitor_configs);
+  state.counters["windows"] = static_cast<double>(windows) /
+                              static_cast<double>(state.iterations());
+}
+
+// Arg = monitor configurations per monitoring node; 4 neighbors watch
+// the tagged center, so Arg=4 is 16 monitors and Arg=12 is 48.
+void BM_AllPairsMonitoringHub(benchmark::State& state) {
+  run_workload(state, /*all_pairs=*/true, /*share_hub=*/true,
+               static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_AllPairsMonitoringHub)
+    ->Arg(4)->Arg(12)->Unit(benchmark::kMillisecond);
+
+// Same monitors, each with private ring/density/ARMA state — the pre-hub
+// pipeline and the denominator of perf_pr5.sh's speedup.
+void BM_AllPairsMonitoringReference(benchmark::State& state) {
+  run_workload(state, /*all_pairs=*/true, /*share_hub=*/false,
+               static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_AllPairsMonitoringReference)
+    ->Arg(4)->Arg(12)->Unit(benchmark::kMillisecond);
+
+// One monitoring node, one config: nothing to share; measures that the
+// hub indirection itself costs nothing noticeable.
+void BM_SingleMonitorHub(benchmark::State& state) {
+  run_workload(state, /*all_pairs=*/false, /*share_hub=*/true, 1);
+}
+BENCHMARK(BM_SingleMonitorHub)->Unit(benchmark::kMillisecond);
+
+void BM_SingleMonitorReference(benchmark::State& state) {
+  run_workload(state, /*all_pairs=*/false, /*share_hub=*/false, 1);
+}
+BENCHMARK(BM_SingleMonitorReference)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

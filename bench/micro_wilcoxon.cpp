@@ -1,6 +1,11 @@
 // Microbenchmark: Wilcoxon rank-sum test cost per monitor window.
 // The monitor runs one test per completed window; at sample size 10 the
 // exact permutation DP must stay in the tens of microseconds.
+//
+// The *Reference variants run the retained pre-optimization implementation
+// (fresh allocations, full-range DP rows, second tie-group sort) on the
+// same inputs; the speedup of the scratch-reused path over them is the
+// number bench/perf_pr5.sh reports.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -11,7 +16,9 @@
 namespace {
 
 using manet::detect::wilcoxon_rank_sum;
+using manet::detect::wilcoxon_rank_sum_reference;
 using manet::detect::WilcoxonOptions;
+using manet::detect::WilcoxonScratch;
 
 std::vector<double> sample(std::size_t n, double scale, std::uint64_t seed) {
   manet::util::Xoshiro256ss rng(seed);
@@ -26,11 +33,24 @@ void BM_WilcoxonExact(benchmark::State& state) {
   const auto y = sample(n, 0.7, 2);
   WilcoxonOptions opts;
   opts.exact_max_total = 2 * n;  // force the exact path
+  WilcoxonScratch scratch;       // reused across iterations, like a monitor
   for (auto _ : state) {
-    benchmark::DoNotOptimize(wilcoxon_rank_sum(x, y, opts).p_less);
+    benchmark::DoNotOptimize(wilcoxon_rank_sum(x, y, opts, scratch).p_less);
   }
 }
 BENCHMARK(BM_WilcoxonExact)->Arg(5)->Arg(10)->Arg(15)->Arg(20);
+
+void BM_WilcoxonExactReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = sample(n, 1.0, 1);
+  const auto y = sample(n, 0.7, 2);
+  WilcoxonOptions opts;
+  opts.exact_max_total = 2 * n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wilcoxon_rank_sum_reference(x, y, opts).p_less);
+  }
+}
+BENCHMARK(BM_WilcoxonExactReference)->Arg(5)->Arg(10)->Arg(15)->Arg(20);
 
 void BM_WilcoxonApprox(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -38,11 +58,24 @@ void BM_WilcoxonApprox(benchmark::State& state) {
   const auto y = sample(n, 0.7, 4);
   WilcoxonOptions opts;
   opts.exact_max_total = 0;  // force the normal approximation
+  WilcoxonScratch scratch;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(wilcoxon_rank_sum(x, y, opts).p_less);
+    benchmark::DoNotOptimize(wilcoxon_rank_sum(x, y, opts, scratch).p_less);
   }
 }
 BENCHMARK(BM_WilcoxonApprox)->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Arg(500);
+
+void BM_WilcoxonApproxReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = sample(n, 1.0, 3);
+  const auto y = sample(n, 0.7, 4);
+  WilcoxonOptions opts;
+  opts.exact_max_total = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wilcoxon_rank_sum_reference(x, y, opts).p_less);
+  }
+}
+BENCHMARK(BM_WilcoxonApproxReference)->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Arg(500);
 
 }  // namespace
 

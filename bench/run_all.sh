@@ -42,6 +42,7 @@ default_benches=(
   fig5d_detection_mobile
   fig6_misdiagnosis_static
   fig6b_misdiagnosis_mobile
+  fig_allpairs_monitoring
   robustness_loss_sweep
   ablation_arma_alpha
   ablation_region_model
@@ -50,6 +51,14 @@ default_benches=(
   motivation_starvation
   extension_multihop
 )
+
+# google-benchmark micro benches (no --json/--threads; they emit
+# --benchmark_format=json arrays merged under their own keys).
+default_micro_benches=(
+  micro_wilcoxon
+  micro_monitor
+)
+read -r -a micro_benches <<< "${MICRO_BENCHES:-${default_micro_benches[*]}}"
 read -r -a benches <<< "${BENCHES:-${default_benches[*]}}"
 
 for bench in "${benches[@]}"; do
@@ -68,11 +77,22 @@ for bench in "${benches[@]}"; do
   "$bin" "${flags[@]}" ${EXTRA_FLAGS:-} || echo "## $bench exited non-zero" >&2
 done
 
+for bench in "${micro_benches[@]}"; do
+  bin="$build_dir/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "## skipping $bench (not built)" >&2
+    continue
+  fi
+  echo "## $bench"
+  "$bin" --benchmark_format=json >"$work_dir/$bench.json" 2>/dev/null \
+    || echo "## $bench exited non-zero" >&2
+done
+
 # Merge the per-bench arrays into one top-level object.
 {
   echo "{"
   first=1
-  for bench in "${benches[@]}"; do
+  for bench in "${benches[@]}" "${micro_benches[@]}"; do
     f="$work_dir/$bench.json"
     [[ -s "$f" ]] || continue
     [[ $first -eq 1 ]] || echo ","

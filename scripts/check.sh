@@ -54,4 +54,30 @@ echo "== perf smoke (ASan + UBSan) =="
     --benchmark_min_time=0 \
     --benchmark_filter='BM_ScheduleAndPop/1024|BM_CancelChurnSteadyState' >/dev/null
 
+echo "== detection pipeline smoke (ASan + UBSan) =="
+# The shared-ObservationHub pipeline must match the private-per-monitor
+# reference (--monitor_impl=reference) bit for bit on the all-pairs
+# workload, serially and across the engine's workers.
+ap_flags=(--loads=0.6 --pms=0,50 --sim_time=20 --runs=2)
+./build-asan/bench/fig_allpairs_monitoring "${ap_flags[@]}" --threads=1 \
+    --monitor_impl=hub --json="$smoke_dir/ap_hub_t1.json" >/dev/null
+./build-asan/bench/fig_allpairs_monitoring "${ap_flags[@]}" --threads=4 \
+    --monitor_impl=hub --json="$smoke_dir/ap_hub_t4.json" >/dev/null
+./build-asan/bench/fig_allpairs_monitoring "${ap_flags[@]}" --threads=1 \
+    --monitor_impl=reference --json="$smoke_dir/ap_ref_t1.json" >/dev/null
+diff <(strip_timing "$smoke_dir/ap_hub_t1.json") \
+     <(strip_timing "$smoke_dir/ap_hub_t4.json") \
+  || { echo "all-pairs hub output differs across thread counts"; exit 1; }
+diff <(strip_timing "$smoke_dir/ap_hub_t1.json") \
+     <(strip_timing "$smoke_dir/ap_ref_t1.json") \
+  || { echo "all-pairs hub output differs from reference pipeline"; exit 1; }
+# Fixed-iteration pass over the detection micro benches: the hub dispatch,
+# window-accounting memo, and scratch-reusing Wilcoxon under the sanitizers.
+./build-asan/bench/micro_monitor \
+    --benchmark_min_time=0 \
+    --benchmark_filter='BM_AllPairsMonitoringHub/4|BM_SingleMonitorHub' >/dev/null
+./build-asan/bench/micro_wilcoxon \
+    --benchmark_min_time=0 \
+    --benchmark_filter='BM_WilcoxonExact/10|BM_WilcoxonApprox/50' >/dev/null
+
 echo "All checks passed."

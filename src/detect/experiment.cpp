@@ -1,5 +1,6 @@
 #include "detect/experiment.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <stdexcept>
@@ -74,12 +75,16 @@ MultiDetectionResult aggregate_trials(std::size_t monitor_count,
   for (const MultiDetectionResult& r : trials) {
     total.handoffs += r.handoffs;
     total.measured_rho += r.measured_rho;
+    total.monitor_nodes = std::max(total.monitor_nodes, r.monitor_nodes);
     total.wall_seconds += r.wall_seconds;
     for (std::size_t i = 0; i < r.per_config.size(); ++i) {
       DetectionResult& out = total.per_config[i];
       out.windows += r.per_config[i].windows;
       out.flagged += r.per_config[i].flagged;
       out.flagged_statistical += r.per_config[i].flagged_statistical;
+      out.window_log.insert(out.window_log.end(),
+                            r.per_config[i].window_log.begin(),
+                            r.per_config[i].window_log.end());
       accumulate(out.stats, r.per_config[i].stats);
     }
   }
@@ -160,26 +165,56 @@ MultiDetectionResult run_multi_detection_experiment(const MultiDetectionConfig& 
   }
 
   // Monitors are created lazily per monitoring node: one instance per
-  // configuration, all watching S, activated/deactivated together.
-  using MonitorSet = std::vector<std::unique_ptr<Monitor>>;
-  std::unordered_map<NodeId, MonitorSet> monitors;
+  // configuration, all watching S, activated/deactivated together. With
+  // share_hub they are views over one ObservationHub per node; otherwise
+  // each gets a private hub (structurally the pre-hub pipeline — the
+  // equivalence/benchmark reference). Readout iterates `monitor_order`
+  // (creation order) so window logs are deterministic.
+  struct NodeMonitors {
+    std::unique_ptr<ObservationHub> hub;  // null when !share_hub
+    std::vector<std::unique_ptr<Monitor>> views;
+  };
+  std::unordered_map<NodeId, NodeMonitors> monitors;
+  std::vector<NodeId> monitor_order;
   auto set_active = [&](NodeId node, bool active) {
     auto it = monitors.find(node);
     if (it == monitors.end()) {
-      MonitorSet set;
-      set.reserve(config.monitors.size());
-      for (const MonitorConfig& mc : config.monitors) {
-        set.push_back(std::make_unique<Monitor>(net.simulator(), net.mac(node),
-                                                net.timeline(node), s, mc));
+      NodeMonitors set;
+      set.views.reserve(config.monitors.size());
+      if (config.share_hub) {
+        set.hub = std::make_unique<ObservationHub>(
+            net.simulator(), net.mac(node), net.timeline(node));
+        for (const MonitorConfig& mc : config.monitors) {
+          set.views.push_back(std::make_unique<Monitor>(*set.hub, s, mc));
+        }
+      } else {
+        for (const MonitorConfig& mc : config.monitors) {
+          set.views.push_back(std::make_unique<Monitor>(
+              net.simulator(), net.mac(node), net.timeline(node), s, mc));
+        }
       }
       it = monitors.emplace(node, std::move(set)).first;
+      monitor_order.push_back(node);
     }
-    for (auto& mon : it->second) mon->set_active(active);
+    for (auto& mon : it->second.views) mon->set_active(active);
   };
 
   MultiDetectionResult result;
   result.per_config.resize(config.monitors.size());
-  set_active(r, true);
+  if (config.all_pairs) {
+    if (config.mobile_handoff) {
+      throw std::invalid_argument(
+          "all_pairs monitoring is incompatible with mobile_handoff");
+    }
+    // Every node in transmission range of S at t=0 runs the monitor set
+    // (sorted for a deterministic creation order). The flow destination
+    // stays the nearest neighbor r, which is itself in range.
+    auto watchers = net.neighbors(s, net.config().prop.tx_range_m, 0);
+    std::sort(watchers.begin(), watchers.end());
+    for (NodeId w : watchers) set_active(w, true);
+  } else {
+    set_active(r, true);
+  }
 
   const SimTime warmup = seconds_to_time(config.warmup_s);
   const SimTime stop = seconds_to_time(config.scenario.sim_seconds);
@@ -221,16 +256,19 @@ MultiDetectionResult run_multi_detection_experiment(const MultiDetectionConfig& 
 
   net.run_until(stop);
 
-  for (const auto& [node, set] : monitors) {
-    for (std::size_t i = 0; i < set.size(); ++i) {
+  result.monitor_nodes = monitor_order.size();
+  for (const NodeId node : monitor_order) {
+    const NodeMonitors& set = monitors.at(node);
+    for (std::size_t i = 0; i < set.views.size(); ++i) {
       DetectionResult& out = result.per_config[i];
-      for (const WindowResult& w : set[i]->windows()) {
+      for (const WindowResult& w : set.views[i]->windows()) {
         if (w.at < warmup) continue;
         ++out.windows;
         if (w.flagged()) ++out.flagged;
         if (w.statistical_flag) ++out.flagged_statistical;
+        if (config.collect_windows) out.window_log.push_back(w);
       }
-      accumulate(out.stats, set[i]->stats());
+      accumulate(out.stats, set.views[i]->stats());
     }
   }
   result.measured_rho =

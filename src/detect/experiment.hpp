@@ -71,6 +71,10 @@ struct DetectionResult {
   std::uint64_t windows = 0;
   std::uint64_t flagged = 0;                // statistical OR deterministic
   std::uint64_t flagged_statistical = 0;    // Wilcoxon rejections only
+  /// Every post-warmup WindowResult, in monitor-creation then trial order
+  /// (only when MultiDetectionConfig::collect_windows; equivalence tests
+  /// compare these sequences element-wise across pipeline variants).
+  std::vector<WindowResult> window_log;
   double detection_rate = 0.0;              // flagged / windows
   double statistical_rate = 0.0;            // flagged_statistical / windows
   double measured_rho = 0.0;    // intensity at the (initial) monitor
@@ -109,12 +113,30 @@ struct MultiDetectionConfig {
   double warmup_s = 3.0;
   bool mobile_handoff = false;
   SimDuration handoff_period = 500 * kMillisecond;
+  /// Every node within transmission range of the tagged node at t=0 runs
+  /// the full monitor set (instead of only the nearest neighbor) — the
+  /// scaling workload: one shared ObservationHub per monitoring node.
+  /// Incompatible with mobile_handoff (the handoff protocol assumes a
+  /// single monitoring role to move around).
+  bool all_pairs = false;
+  /// Share one ObservationHub among a node's monitors (the optimized
+  /// pipeline). false gives every monitor a private hub — structurally the
+  /// pre-hub pipeline — and is the reference for equivalence tests and
+  /// the perf baseline for bench/perf_pr5.sh. Results are bit-identical
+  /// either way.
+  bool share_hub = true;
+  /// Fill DetectionResult::window_log (off by default: sweeps only need
+  /// the aggregate counters).
+  bool collect_windows = false;
 };
 
 struct MultiDetectionResult {
   std::vector<DetectionResult> per_config;  // parallel to config.monitors
   double measured_rho = 0.0;
   std::uint64_t handoffs = 0;
+  /// Distinct nodes that ran monitors (1, or the neighbor count under
+  /// all_pairs; max over trials when aggregated).
+  std::uint64_t monitor_nodes = 0;
   double wall_seconds = 0.0;  // summed over trials; not deterministic
 };
 

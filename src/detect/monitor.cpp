@@ -7,21 +7,35 @@
 
 namespace manet::detect {
 
+Monitor::Monitor(ObservationHub& hub, NodeId tagged, const MonitorConfig& config)
+    : hub_(hub),
+      sim_(hub.simulator()),
+      mac_(hub.mac()),
+      timeline_(hub.timeline()),
+      tagged_(tagged),
+      config_(config),
+      tagged_prs_(tagged, hub.mac().params()),
+      model_(geom::RegionModel(config.separation_m, config.sensing_range_m)),
+      ring_(&hub.frame_ring(*this, config.decoded_retention,
+                            config.max_decoded_frames)),
+      arma_(&hub.intensity_tracker(config.arma_alpha, config.arma_batch_slots)),
+      density_(&hub.density(*this, config.density_window, config.tx_range_m)) {
+  hub_.attach(this);
+}
+
+Monitor::Monitor(std::unique_ptr<ObservationHub> owned, NodeId tagged,
+                 const MonitorConfig& config)
+    : Monitor(*owned, tagged, config) {
+  owned_hub_ = std::move(owned);
+}
+
 Monitor::Monitor(sim::Simulator& simulator, mac::DcfMac& monitor_mac,
                  phy::CsTimeline& timeline, NodeId tagged,
                  const MonitorConfig& config)
-    : sim_(simulator),
-      mac_(monitor_mac),
-      timeline_(timeline),
-      tagged_(tagged),
-      config_(config),
-      tagged_prs_(tagged, monitor_mac.params()),
-      model_(geom::RegionModel(config.separation_m, config.sensing_range_m)),
-      arma_(config.arma_alpha),
-      density_(config.density_window, config.tx_range_m) {
-  mac_.add_observer(this);
-  schedule_arma_tick();
-}
+    : Monitor(std::make_unique<ObservationHub>(simulator, monitor_mac, timeline),
+              tagged, config) {}
+
+Monitor::~Monitor() { hub_.detach(this); }
 
 void Monitor::set_active(bool active) {
   if (active == active_) return;
@@ -46,23 +60,12 @@ double Monitor::flag_rate() const {
          static_cast<double>(stats_.windows);
 }
 
-void Monitor::schedule_arma_tick() {
-  const SimDuration batch = static_cast<SimDuration>(config_.arma_batch_slots) *
-                            mac_.params().slot_time;
-  sim_.after(batch, [this] {
-    const SimTime now = sim_.now();
-    arma_.add_batch(timeline_.busy_fraction(last_arma_tick_, now));
-    last_arma_tick_ = now;
-    schedule_arma_tick();
-  });
-}
-
 SystemStateParams Monitor::current_state() const {
   SystemStateParams p;
-  p.rho = arma_.intensity();
+  p.rho = arma_->filter().intensity();
   p.mapping = config_.mapping;
 
-  const double dens = density_.density(sim_.now());
+  const double dens = density_->density(sim_.now());
   const auto& areas = model_.regions().areas();
   p.k = config_.fixed_k.value_or(dens * areas.a1);
   p.n = config_.fixed_n.value_or(dens * areas.a2);
@@ -79,25 +82,8 @@ SystemStateParams Monitor::current_state() const {
   return p;
 }
 
-void Monitor::on_frame(const mac::Frame& frame, SimTime start, SimTime end) {
+void Monitor::on_hub_frame(const mac::Frame& frame, SimTime start, SimTime end) {
   if (!active_) return;
-
-  if (frame.transmitter != mac_.id()) {
-    density_.heard(frame.transmitter, end);
-  }
-
-  // Decoded air time is busy time the tagged node certainly sensed too
-  // (transmitter within separation + tx range < sensing range of S); its
-  // NAV reservation binds the tagged node unless the frame involved it.
-  const bool involves_tagged = frame.transmitter == tagged_ || frame.receiver == tagged_;
-  decoded_.push_back(DecodedFrame{start, end, end + frame.duration,
-                                  involves_tagged,
-                                  frame.type == mac::FrameType::kRts});
-  const SimTime horizon = end - 4 * kSecond;
-  while (!decoded_.empty() && decoded_.front().nav_until < horizon) {
-    decoded_.pop_front();
-  }
-  while (decoded_.size() > config_.max_decoded_frames) decoded_.pop_front();
 
   const bool from_tagged = frame.transmitter == tagged_;
   const bool to_tagged = frame.receiver == tagged_;
@@ -267,57 +253,23 @@ void Monitor::handle_tagged_rts(const mac::Frame& rts, SimTime start) {
   }
 
   // Translate our own view of the window into S's estimated countdown.
-  // Three-way split of the window:
-  //   * certainly blocked for S — decoded air time plus decoded NAV
-  //     reservations (not from/to S itself): no countdown credit;
-  //   * anonymous (undecodable) energy — S may not hear it: statistical
-  //     p(I|B) credit;
-  //   * free idle — p(I|I) credit, minus one DIFS deferral per period.
-  util::IntervalSet blocked;
-  for (const DecodedFrame& f : decoded_) {
-    if (f.nav_until <= window_start || f.start >= start) continue;
-    blocked.add(f.start, f.end);
-    if (!f.involves_tagged) {
-      SimTime nav_end = f.nav_until;
-      if (f.is_rts) {
-        // Mirror the NAV-reset rule: if nothing followed the RTS within
-        // the reset window, the tagged node's NAV was reset too.
-        const SimTime reset_at = f.end + params.nav_reset_delay();
-        if (timeline_.busy_time(f.end, std::min(reset_at, start)) == 0) {
-          nav_end = std::min(nav_end, reset_at);
-        }
-      }
-      blocked.add(f.end, nav_end);
-    }
-  }
-  blocked = blocked.clamped(window_start, start);
+  // The hub's frame ring does the three-way split (memoized across the
+  // node's views): certainly blocked / anonymous busy / free idle.
+  const WindowAccounting& acct =
+      ring_->window_accounting(window_start, start, tagged_);
 
-  util::IntervalSet busy;
-  for (const auto& [a, b] : timeline_.busy_intervals(window_start, start)) {
-    busy.add(a, b);
-  }
-
-  const SimDuration uncertain_busy =
-      busy.total_length() - busy.intersection_length(blocked);
-
-  util::IntervalSet occupied = busy;
-  occupied.merge(blocked);
-  SimDuration countable = 0;
-  for (const util::Interval& gap : occupied.complement_within(window_start, start)) {
-    if (gap.length() > params.difs) countable += gap.length() - params.difs;
-  }
-
-  const double idle_slots = static_cast<double>(countable) /
+  const double idle_slots = static_cast<double>(acct.countable_idle) /
                             static_cast<double>(params.slot_time);
-  const double busy_slots = static_cast<double>(uncertain_busy) /
+  const double busy_slots = static_cast<double>(acct.uncertain_busy) /
                             static_cast<double>(params.slot_time);
 
   const SystemStateParams state = current_state();
+  const ConditionalProbs& probs = model_.conditional_probs(state);
   const double idle_weight =
-      config_.apply_idle_correction ? model_.p_idle_given_idle(state) : 1.0;
+      config_.apply_idle_correction ? probs.p_idle_given_idle : 1.0;
   const double observed =
       idle_weight * idle_slots +
-      config_.busy_credit_factor * model_.p_idle_given_busy(state) * busy_slots;
+      config_.busy_credit_factor * probs.p_idle_given_busy * busy_slots;
 
   // Clean-window acceptance: only windows that plausibly contain no
   // queue-empty gap are comparable back-off samples (see MonitorConfig).
@@ -338,7 +290,7 @@ void Monitor::handle_tagged_rts(const mac::Frame& rts, SimTime start) {
     rec.observed = observed;
     rec.idle_slots = idle_slots;
     rec.busy_unc_slots = busy_slots;
-    rec.blocked_slots = static_cast<double>(blocked.total_length()) /
+    rec.blocked_slots = static_cast<double>(acct.blocked) /
                         static_cast<double>(params.slot_time);
     rec.attempt = rts.attempt;
     rec.accepted = accepted;
@@ -384,11 +336,11 @@ void Monitor::close_window() {
   // one-sided test: only a deficit beyond the margin counts as evidence.
   // Samples are CW-normalized, so the margin is a plain fraction of the
   // contention window.
-  std::vector<double> shifted(ys_);
-  for (double& v : shifted) v += config_.margin_fraction;
+  shifted_.assign(ys_.begin(), ys_.end());
+  for (double& v : shifted_) v += config_.margin_fraction;
 
   const RankSumResult test =
-      wilcoxon_rank_sum(xs_, shifted, config_.wilcoxon);
+      wilcoxon_rank_sum(xs_, shifted_, config_.wilcoxon, wilcoxon_scratch_);
   result.p_less = test.p_less;
   result.statistical_flag = test.p_less < config_.alpha;
 

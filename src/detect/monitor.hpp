@@ -25,23 +25,27 @@
 //   * After `sample_size` (x, y) pairs, a one-sided Wilcoxon rank-sum test
 //     asks whether y is stochastically smaller than x by more than the
 //     permissible margin; p < alpha rejects H0 ("S is well behaved").
+//
+// Monitors are views over a per-node ObservationHub: the decoded-frame
+// ring, density estimator, and ARMA tracker live in the hub and are shared
+// by every monitor on the node whose config knobs match (see
+// observation_hub.hpp for the exact sharing rules). The legacy standalone
+// constructor creates a private hub, preserving the old interface.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
-#include "detect/arma.hpp"
-#include "detect/density.hpp"
+#include "detect/observation_hub.hpp"
 #include "detect/system_state.hpp"
 #include "detect/wilcoxon.hpp"
 #include "geom/region_model.hpp"
 #include "mac/dcf.hpp"
 #include "phy/cs_timeline.hpp"
 #include "sim/simulator.hpp"
-#include "util/intervals.hpp"
 #include "util/types.hpp"
 
 namespace manet::detect {
@@ -127,8 +131,19 @@ struct MonitorConfig {
   /// regardless of size (the monitor knows it was deaf).
   std::uint32_t max_seq_off_gap = 64;
 
+  /// Age horizon for the decoded-frame history: a frame is dropped once
+  /// its NAV reservation is older than this relative to the newest decode.
+  /// Must comfortably exceed `max_window` plus the longest NAV so window
+  /// accounting never loses a frame that could block the tagged node; the
+  /// default (4 s) doubles the default 2 s `max_window`.
+  SimDuration decoded_retention = 4 * kSecond;
+
   /// Hard cap on the decoded-frame history (entries); the age-based prune
-  /// usually keeps it far smaller, the cap bounds pathological bursts.
+  /// of `decoded_retention` usually keeps it far smaller, the cap bounds
+  /// pathological bursts. When the cap binds, the oldest frames are
+  /// dropped even if still within the retention horizon — window
+  /// accounting then under-counts blocked time, so size the cap to the
+  /// expected frame rate times the retention.
   std::size_t max_decoded_frames = 4096;
 
   /// Baseline mode: pretend the paper's modification does not exist. The
@@ -151,6 +166,8 @@ struct WindowResult {
   bool statistical_flag = false;
   bool deterministic_flag = false;
   bool flagged() const { return statistical_flag || deterministic_flag; }
+
+  bool operator==(const WindowResult&) const = default;
 };
 
 struct MonitorStats {
@@ -169,21 +186,30 @@ struct MonitorStats {
   std::uint64_t seq_off_resyncs = 0;     // tolerated gaps: PRS resynchronized
   std::uint64_t frames_lost = 0;         // RTSes inferred missed (gap sizes)
   std::uint64_t windows_discarded_impaired = 0;  // samples dropped: loss/outage
+
+  bool operator==(const MonitorStats&) const = default;
 };
 
-class Monitor : public mac::MacObserver {
+class Monitor : public HubView {
  public:
-  /// Attaches to `monitor_mac`'s observer hook. `timeline` must be the
-  /// carrier-sense timeline of the same node. `tagged` is S.
+  /// Attaches as a view of `hub` (the hub's node is R). `tagged` is S.
+  Monitor(ObservationHub& hub, NodeId tagged, const MonitorConfig& config);
+
+  /// Legacy standalone form: creates a private ObservationHub over the
+  /// node's MAC/timeline. `timeline` must be the carrier-sense timeline of
+  /// the same node.
   Monitor(sim::Simulator& simulator, mac::DcfMac& monitor_mac,
           phy::CsTimeline& timeline, NodeId tagged, const MonitorConfig& config);
+
+  ~Monitor() override;
 
   NodeId tagged() const { return tagged_; }
   NodeId self() const { return mac_.id(); }
 
   /// Suspend/resume observation. Reactivation clears the partially filled
   /// window and the exchange anchor (used when mobility hands the
-  /// monitoring role to another neighbor).
+  /// monitoring role to another neighbor). Views sharing hub components
+  /// must be toggled together (see observation_hub.hpp).
   void set_active(bool active);
   bool active() const { return active_; }
 
@@ -204,31 +230,42 @@ class Monitor : public mac::MacObserver {
   /// All samples (only when config.record_samples).
   const std::vector<SampleRecord>& sample_log() const { return sample_log_; }
 
-  /// Decoded-frame history currently retained (memory diagnostics; bounded
-  /// by config.max_decoded_frames).
-  std::size_t decoded_retained() const { return decoded_.size(); }
+  /// Decoded-frame history currently retained by this monitor's ring
+  /// (memory diagnostics; bounded by config.max_decoded_frames).
+  std::size_t decoded_retained() const { return ring_->size(); }
 
   /// Fraction of completed windows that flagged S.
   double flag_rate() const;
 
   /// Current smoothed traffic intensity (Eq. 6).
-  double traffic_intensity() const { return arma_.intensity(); }
+  double traffic_intensity() const { return arma_->filter().intensity(); }
 
   /// Current system-state inputs the statistical path would use.
   SystemStateParams current_state() const;
 
-  // mac::MacObserver:
-  void on_frame(const mac::Frame& frame, SimTime start, SimTime end) override;
+  const ObservationHub& hub() const { return hub_; }
+
+  // HubView:
+  bool view_active() const override { return active_; }
+  void on_hub_frame(const mac::Frame& frame, SimTime start, SimTime end) override;
 
  private:
+  /// Delegation target for the legacy form: binds to *owned, then takes
+  /// ownership.
+  Monitor(std::unique_ptr<ObservationHub> owned, NodeId tagged,
+          const MonitorConfig& config);
+
   void handle_tagged_rts(const mac::Frame& rts, SimTime start);
   void note_exchange_end(SimTime at);
   void add_sample(double expected, double observed, bool deterministic_violation);
   void close_window();
-  void schedule_arma_tick();
   /// Unwraps the 13-bit announced offset against the last seen offset.
   std::uint64_t unwrap_seq_off(std::uint32_t announced);
 
+  // Declared first so the hub outlives every member that references it
+  // (destroyed last; the destructor body detaches before that).
+  std::unique_ptr<ObservationHub> owned_hub_;
+  ObservationHub& hub_;
   sim::Simulator& sim_;
   mac::DcfMac& mac_;
   phy::CsTimeline& timeline_;
@@ -237,27 +274,13 @@ class Monitor : public mac::MacObserver {
 
   mac::VerifiableBackoff tagged_prs_;
   SystemStateModel model_;
-  ArmaIntensityFilter arma_;
-  HeardTransmitterDensity density_;
+
+  // Hub components (shared or private per the hub's keying rules).
+  ObservationHub::FrameRing* ring_;
+  ObservationHub::IntensityTracker* arma_;
+  HeardTransmitterDensity* density_;
 
   bool active_ = true;
-
-  // Frames this monitor decoded (including its own), newest at the back.
-  // A decoded frame's transmitter lies within the monitor's transmission
-  // range, hence within separation + tx_range < sensing range of the
-  // tagged node: the tagged node certainly sensed its air time — and, for
-  // frames not involving the tagged node, certainly honored its NAV
-  // reservation — so neither period can carry countdown. Only anonymous
-  // (undecodable) energy is ambiguous and receives the statistical p(I|B)
-  // credit.
-  struct DecodedFrame {
-    SimTime start = 0;
-    SimTime end = 0;
-    SimTime nav_until = 0;
-    bool involves_tagged = false;
-    bool is_rts = false;  // RTS reservations are subject to the NAV-reset rule
-  };
-  std::deque<DecodedFrame> decoded_;
 
   // Exchange tracking for the tagged node.
   std::optional<SimTime> anchor_;        // when S's current back-off could have started
@@ -277,8 +300,10 @@ class Monitor : public mac::MacObserver {
   std::vector<double> ys_;
   bool window_deterministic_flag_ = false;
 
-  // ARMA sampling.
-  SimTime last_arma_tick_ = 0;
+  // Statistics scratch, reused across windows (close_window allocates
+  // nothing in steady state).
+  std::vector<double> shifted_;
+  WilcoxonScratch wilcoxon_scratch_;
 
   MonitorStats stats_;
   std::vector<WindowResult> windows_;

@@ -38,4 +38,15 @@ double SystemStateModel::p_idle_given_busy(const SystemStateParams& p) const {
   return tx_in_a5 * s_idle_factor;
 }
 
+const ConditionalProbs& SystemStateModel::conditional_probs(
+    const SystemStateParams& p) const {
+  if (memo_valid_ && memo_key_ == p) return memo_val_;
+  memo_key_ = p;
+  memo_val_.p_busy_given_idle = p_busy_given_idle(p);
+  memo_val_.p_idle_given_busy = p_idle_given_busy(p);
+  memo_val_.p_idle_given_idle = 1.0 - memo_val_.p_busy_given_idle;
+  memo_valid_ = true;
+  return memo_val_;
+}
+
 }  // namespace manet::detect

@@ -48,6 +48,15 @@ struct SystemStateParams {
   /// tracks simulation much better (bench/ablation_estimator) and is the
   /// default. false reproduces the paper's equation literally.
   bool include_a3_in_conditioning = true;
+
+  bool operator==(const SystemStateParams&) const = default;
+};
+
+/// Eqs. 3-5 evaluated together for one parameter point.
+struct ConditionalProbs {
+  double p_busy_given_idle = 0.0;  // Eq. 3
+  double p_idle_given_busy = 0.0;  // Eq. 4
+  double p_idle_given_idle = 1.0;  // Eq. 5 = 1 - p_busy_given_idle
 };
 
 class SystemStateModel {
@@ -69,10 +78,19 @@ class SystemStateModel {
     return 1.0 - p_busy_given_idle(p);
   }
 
+  /// Eqs. 3-5 together, memoized on the exact parameter values. The inputs
+  /// are already quantized upstream — rho only moves once per ARMA batch and
+  /// the node counts once per density-window recount — so consecutive slot
+  /// evaluations within a window hit the single-slot cache, skipping the
+  /// pow() calls. Keying on exact equality makes the memo lossless: a hit
+  /// returns the identical doubles a fresh evaluation would produce.
+  const ConditionalProbs& conditional_probs(const SystemStateParams& p) const;
+
   /// Eq. 1: sender-perspective idle slots from the monitor's (I, B).
   double estimated_idle(const SystemStateParams& p, double idle_slots,
                         double busy_slots) const {
-    return p_idle_given_idle(p) * idle_slots + p_idle_given_busy(p) * busy_slots;
+    const ConditionalProbs& probs = conditional_probs(p);
+    return probs.p_idle_given_idle * idle_slots + probs.p_idle_given_busy * busy_slots;
   }
 
   /// Eq. 2: sender-perspective busy slots (N - I_est).
@@ -85,6 +103,11 @@ class SystemStateModel {
 
  private:
   geom::RegionModel regions_;
+  // Single-slot memo for conditional_probs. Mutable: caching does not change
+  // observable results (exact-key lookup).
+  mutable SystemStateParams memo_key_;
+  mutable ConditionalProbs memo_val_;
+  mutable bool memo_valid_ = false;
 };
 
 }  // namespace manet::detect

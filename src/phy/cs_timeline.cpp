@@ -123,10 +123,16 @@ SlotCounts CsTimeline::count_slots(SimTime from, SimTime to, SimDuration slot) c
 std::vector<std::pair<SimTime, SimTime>> CsTimeline::busy_intervals(
     SimTime from, SimTime to) const {
   std::vector<std::pair<SimTime, SimTime>> out;
+  busy_intervals_into(from, to, out);
+  return out;
+}
+
+void CsTimeline::busy_intervals_into(
+    SimTime from, SimTime to, std::vector<std::pair<SimTime, SimTime>>& out) const {
+  out.clear();
   for_each_segment(from, to, [&](SimTime a, SimTime b, bool state) {
     if (state && b > a) out.emplace_back(a, b);
   });
-  return out;
 }
 
 SimDuration CsTimeline::countable_idle_time(SimTime from, SimTime to,

@@ -71,6 +71,11 @@ class CsTimeline : public RadioListener {
   std::vector<std::pair<SimTime, SimTime>> busy_intervals(SimTime from,
                                                           SimTime to) const;
 
+  /// Allocation-free variant: clears and refills `out` (capacity is kept
+  /// across calls) with the same intervals busy_intervals returns.
+  void busy_intervals_into(SimTime from, SimTime to,
+                           std::vector<std::pair<SimTime, SimTime>>& out) const;
+
   /// Cumulative busy time since t=0 up to `at` (which must be >= the last
   /// recorded transition). Unlike the windowed queries this survives
   /// pruning, so long-horizon busy fractions (a whole run's traffic

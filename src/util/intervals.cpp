@@ -10,6 +10,11 @@ void IntervalSet::add(SimTime lo, SimTime hi) {
   normalized_ = false;
 }
 
+void IntervalSet::clear() {
+  items_.clear();
+  normalized_ = true;
+}
+
 void IntervalSet::normalize() const {
   if (normalized_) return;
   std::sort(items_.begin(), items_.end(),
@@ -52,6 +57,19 @@ IntervalSet IntervalSet::clamped(SimTime lo, SimTime hi) const {
   return out;
 }
 
+void IntervalSet::clamp_to(SimTime lo, SimTime hi) {
+  normalize();
+  // Clipping a normalized set keeps it sorted and disjoint; only emptied
+  // intervals need removing.
+  std::size_t out = 0;
+  for (const Interval& iv : items_) {
+    const SimTime a = std::max(iv.lo, lo);
+    const SimTime b = std::min(iv.hi, hi);
+    if (b > a) items_[out++] = Interval{a, b};
+  }
+  items_.resize(out);
+}
+
 SimDuration IntervalSet::intersection_length(const IntervalSet& other) const {
   normalize();
   other.normalize();
@@ -73,18 +91,24 @@ SimDuration IntervalSet::intersection_length(const IntervalSet& other) const {
 }
 
 std::vector<Interval> IntervalSet::complement_within(SimTime lo, SimTime hi) const {
-  normalize();
   std::vector<Interval> gaps;
+  complement_within(lo, hi, gaps);
+  return gaps;
+}
+
+void IntervalSet::complement_within(SimTime lo, SimTime hi,
+                                    std::vector<Interval>& out) const {
+  normalize();
+  out.clear();
   SimTime cursor = lo;
   for (const Interval& iv : items_) {
     if (iv.hi <= lo) continue;
     if (iv.lo >= hi) break;
     const SimTime start = std::max(iv.lo, lo);
-    if (start > cursor) gaps.push_back(Interval{cursor, start});
+    if (start > cursor) out.push_back(Interval{cursor, start});
     cursor = std::max(cursor, std::min(iv.hi, hi));
   }
-  if (cursor < hi) gaps.push_back(Interval{cursor, hi});
-  return gaps;
+  if (cursor < hi) out.push_back(Interval{cursor, hi});
 }
 
 void IntervalSet::merge(const IntervalSet& other) {

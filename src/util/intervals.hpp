@@ -23,6 +23,11 @@ class IntervalSet {
   /// Adds [lo, hi); empty or inverted input is ignored.
   void add(SimTime lo, SimTime hi);
 
+  /// Removes every interval but keeps the buffer's capacity, so one set can
+  /// be reused across the monitor's per-window accounting without
+  /// reallocating.
+  void clear();
+
   bool empty() const;
 
   /// Sum of lengths of the (unioned) intervals.
@@ -34,12 +39,19 @@ class IntervalSet {
   /// Restricts the set to [lo, hi).
   IntervalSet clamped(SimTime lo, SimTime hi) const;
 
+  /// Restricts the set to [lo, hi) in place (no allocation).
+  void clamp_to(SimTime lo, SimTime hi);
+
   /// Length of the intersection with `other`.
   SimDuration intersection_length(const IntervalSet& other) const;
 
   /// The gaps of this set within [lo, hi): maximal sub-intervals not
   /// covered by the set.
   std::vector<Interval> complement_within(SimTime lo, SimTime hi) const;
+
+  /// complement_within into a caller-provided buffer (cleared first), so
+  /// repeated window accounting reuses one allocation.
+  void complement_within(SimTime lo, SimTime hi, std::vector<Interval>& out) const;
 
   /// Set union (mutating).
   void merge(const IntervalSet& other);

@@ -315,6 +315,42 @@ TEST(Wilcoxon, AllValuesTiedDegenerateVariance) {
   EXPECT_DOUBLE_EQ(r.p_greater, 1.0);
 }
 
+TEST(Wilcoxon, ScratchReuseMatchesReferenceBitForBit) {
+  // The allocation-free path (reused scratch, bounded DP rows, single-pass
+  // midranks) must reproduce the retained pre-optimization implementation
+  // exactly — every result field, exact and approximate branches, heavy
+  // ties included. The scratch is deliberately reused across wildly
+  // different sample sizes to catch stale-buffer bugs.
+  util::Xoshiro256ss rng(99);
+  WilcoxonScratch scratch;
+  const std::size_t sizes[][2] = {{1, 1},  {3, 5},   {10, 10}, {20, 20},
+                                  {7, 33}, {25, 25}, {50, 50}, {4, 4}};
+  for (int round = 0; round < 20; ++round) {
+    for (const auto& s : sizes) {
+      std::vector<double> x, y;
+      // Quantized values force tie groups (back-off slot counts are
+      // integers in practice); occasionally use continuous values.
+      const bool quantize = (round % 3) != 0;
+      for (std::size_t i = 0; i < s[0]; ++i) {
+        const double v = rng.uniform(0, 16);
+        x.push_back(quantize ? std::floor(v) : v);
+      }
+      for (std::size_t i = 0; i < s[1]; ++i) {
+        const double v = rng.uniform(0, 16) * 0.8;
+        y.push_back(quantize ? std::floor(v) : v);
+      }
+      const auto fast = wilcoxon_rank_sum(x, y, WilcoxonOptions{}, scratch);
+      const auto ref = wilcoxon_rank_sum_reference(x, y);
+      EXPECT_EQ(fast.exact, ref.exact);
+      EXPECT_EQ(fast.w_y, ref.w_y);
+      EXPECT_EQ(fast.p_less, ref.p_less);
+      EXPECT_EQ(fast.p_greater, ref.p_greater);
+      EXPECT_EQ(fast.p_two_sided, ref.p_two_sided);
+      EXPECT_EQ(fast.z, ref.z);
+    }
+  }
+}
+
 // --- Monitor end-to-end on a bare PHY -----------------------------------------
 
 struct FixedPositions : phy::PositionProvider {
@@ -645,6 +681,33 @@ TEST(Monitor, PrsUnawareBaselineCannotProveViolations) {
   // sample size 10 with the margin the baseline has little power.
   // The full monitor on the same setup flags everything (see
   // Monitor.FullMisbehaviorIsFlaggedFast).
+}
+
+TEST(Monitor, DecodedRetentionBoundsTheFrameRing) {
+  // The prune horizon is a config knob now; a short retention keeps the
+  // ring small while the default (4 s) retains everything a max-window
+  // verification can ask for. Shortening retention must not disturb the
+  // monitor's verdict stream on this clean saturated link (every window
+  // closes long before frames age out of even the short ring).
+  MonitorConfig short_cfg;
+  short_cfg.sample_size = 10;
+  short_cfg.decoded_retention = 500 * kMillisecond;
+  MonitorConfig default_cfg;
+  default_cfg.sample_size = 10;
+
+  std::size_t short_retained = 0, default_retained = 0;
+  MonitorStats short_stats, default_stats;
+  for (int which = 0; which < 2; ++which) {
+    MonitorFixture f;
+    Monitor& mon = f.attach_monitor(which == 0 ? short_cfg : default_cfg);
+    f.keep_feeding(10 * kSecond, 1);
+    f.sim.run_until(10 * kSecond);
+    (which == 0 ? short_retained : default_retained) = mon.decoded_retained();
+    (which == 0 ? short_stats : default_stats) = mon.stats();
+  }
+  EXPECT_GT(short_retained, 0u);
+  EXPECT_LT(short_retained, default_retained);
+  EXPECT_EQ(short_stats, default_stats);
 }
 
 TEST(Report, RendersVerdictAndCounters) {

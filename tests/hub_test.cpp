@@ -1,0 +1,225 @@
+// Equivalence and sharing tests for the per-node ObservationHub
+// (src/detect/observation_hub.*). The hub is a pure refactor plus
+// memoization: a monitor set sharing one hub must produce WindowResult
+// sequences and MonitorStats bit-identical to private per-monitor state
+// (MultiDetectionConfig::share_hub = false, structurally the pre-hub
+// pipeline), across static, mobile-handoff, lossy, and all-pairs
+// scenarios and across seeds.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "detect/experiment.hpp"
+#include "detect/monitor.hpp"
+#include "detect/observation_hub.hpp"
+#include "mac/dcf.hpp"
+#include "phy/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet::detect {
+namespace {
+
+net::ScenarioConfig tiny_grid(double seconds, std::uint64_t seed) {
+  net::ScenarioConfig cfg;
+  cfg.grid_rows = 3;
+  cfg.grid_cols = 4;
+  cfg.num_flows = 5;
+  cfg.sim_seconds = seconds;
+  cfg.seed = seed;
+  return cfg;
+}
+
+MonitorConfig small_monitor(std::size_t ss = 10) {
+  MonitorConfig m;
+  m.sample_size = ss;
+  m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 3.0;
+  m.fixed_contenders = 8.0;
+  return m;
+}
+
+MultiDetectionConfig base_config(double seconds, std::uint64_t seed) {
+  MultiDetectionConfig cfg;
+  cfg.scenario = tiny_grid(seconds, seed);
+  cfg.rate_pps = 25;
+  cfg.pm = 60;
+  cfg.monitors = {small_monitor(10), small_monitor(25), small_monitor(10)};
+  cfg.collect_windows = true;
+  return cfg;
+}
+
+/// Runs `cfg` with the shared hub and with private per-monitor hubs and
+/// asserts every deterministic output matches exactly.
+void expect_hub_matches_reference(MultiDetectionConfig cfg) {
+  cfg.collect_windows = true;
+  cfg.share_hub = true;
+  const auto hub = run_multi_detection_experiment(cfg);
+  cfg.share_hub = false;
+  const auto ref = run_multi_detection_experiment(cfg);
+
+  EXPECT_EQ(hub.measured_rho, ref.measured_rho);
+  EXPECT_EQ(hub.handoffs, ref.handoffs);
+  EXPECT_EQ(hub.monitor_nodes, ref.monitor_nodes);
+  ASSERT_EQ(hub.per_config.size(), ref.per_config.size());
+  for (std::size_t i = 0; i < hub.per_config.size(); ++i) {
+    const auto& h = hub.per_config[i];
+    const auto& r = ref.per_config[i];
+    EXPECT_EQ(h.windows, r.windows) << "config " << i;
+    EXPECT_EQ(h.flagged, r.flagged) << "config " << i;
+    EXPECT_EQ(h.flagged_statistical, r.flagged_statistical) << "config " << i;
+    EXPECT_EQ(h.stats, r.stats) << "config " << i;
+    ASSERT_EQ(h.window_log.size(), r.window_log.size()) << "config " << i;
+    for (std::size_t w = 0; w < h.window_log.size(); ++w) {
+      EXPECT_EQ(h.window_log[w], r.window_log[w])
+          << "config " << i << " window " << w;
+    }
+  }
+}
+
+TEST(HubEquivalence, StaticGridBitIdenticalAcrossSeeds) {
+  for (std::uint64_t seed : {7u, 41u, 1234u}) {
+    SCOPED_TRACE(seed);
+    expect_hub_matches_reference(base_config(30, seed));
+  }
+}
+
+TEST(HubEquivalence, MobileHandoffBitIdenticalAcrossSeeds) {
+  for (std::uint64_t seed : {11u, 97u}) {
+    SCOPED_TRACE(seed);
+    MultiDetectionConfig cfg = base_config(40, seed);
+    cfg.scenario.mobility = net::MobilityKind::kRandomWaypoint;
+    cfg.scenario.max_speed_mps = 20.0;
+    cfg.scenario.pause_s = 0.0;
+    cfg.mobile_handoff = true;
+    expect_hub_matches_reference(cfg);
+  }
+}
+
+TEST(HubEquivalence, LossyScenarioBitIdentical) {
+  // Decode failures + corruption + an outage: the hub's ring and the
+  // monitors' resync logic must see the impaired stream identically.
+  MultiDetectionConfig cfg = base_config(30, 77);
+  cfg.scenario.faults.loss_probability = 0.10;
+  cfg.scenario.faults.corrupt_probability = 0.03;
+  cfg.scenario.faults.outages.push_back(
+      {.node = 1, .start = 5 * kSecond, .stop = 7 * kSecond});
+  expect_hub_matches_reference(cfg);
+}
+
+TEST(HubEquivalence, AllPairsBitIdenticalAndCountsNodes) {
+  MultiDetectionConfig cfg = base_config(30, 19);
+  cfg.all_pairs = true;
+  expect_hub_matches_reference(cfg);
+
+  cfg.share_hub = true;
+  const auto result = run_multi_detection_experiment(cfg);
+  // The 3x4 grid center has in-range orthogonal neighbors on all sides.
+  EXPECT_GE(result.monitor_nodes, 3u);
+  EXPECT_GT(result.per_config[0].windows, 0u);
+}
+
+TEST(Hub, AllPairsRejectsMobileHandoff) {
+  MultiDetectionConfig cfg = base_config(10, 3);
+  cfg.all_pairs = true;
+  cfg.mobile_handoff = true;
+  EXPECT_THROW(run_multi_detection_experiment(cfg), std::invalid_argument);
+}
+
+// --- Component sharing on a bare hub ----------------------------------------
+
+struct FixedPositions : phy::PositionProvider {
+  explicit FixedPositions(std::vector<geom::Vec2> p) : pos(std::move(p)) {}
+  std::vector<geom::Vec2> pos;
+  geom::Vec2 position(NodeId node, SimTime) const override { return pos.at(node); }
+};
+
+struct HubFixture {
+  HubFixture()
+      : prop(phy::PropagationParams{}, 3),
+        positions({{0, 0}, {200, 0}}),
+        channel(sim, prop, positions),
+        radio(1, channel),
+        mac(sim, radio, params),
+        timeline(),
+        hub(sim, mac, timeline) {
+    radio.add_listener(&timeline);
+  }
+
+  sim::Simulator sim;
+  mac::DcfParams params;
+  phy::Propagation prop;
+  FixedPositions positions;
+  phy::Channel channel;
+  phy::Radio radio;
+  mac::DcfMac mac;
+  phy::CsTimeline timeline;
+  ObservationHub hub;
+};
+
+TEST(Hub, ViewsWithEqualKnobsShareComponents) {
+  HubFixture f;
+  MonitorConfig cfg = small_monitor();
+  Monitor a(f.hub, 0, cfg);
+  Monitor b(f.hub, 0, cfg);
+  EXPECT_EQ(f.hub.view_count(), 2u);
+  EXPECT_EQ(f.hub.ring_count(), 1u);
+  EXPECT_EQ(f.hub.tracker_count(), 1u);
+  EXPECT_EQ(f.hub.density_count(), 1u);
+}
+
+TEST(Hub, DifferentKnobsGetPrivateComponents) {
+  HubFixture f;
+  Monitor a(f.hub, 0, small_monitor());
+
+  MonitorConfig ring_cfg = small_monitor();
+  ring_cfg.decoded_retention = 2 * kSecond;
+  Monitor b(f.hub, 0, ring_cfg);
+
+  MonitorConfig arma_cfg = small_monitor();
+  arma_cfg.arma_alpha = 0.5;
+  Monitor c(f.hub, 0, arma_cfg);
+
+  MonitorConfig density_cfg = small_monitor();
+  density_cfg.density_window = 10 * kSecond;
+  Monitor d(f.hub, 0, density_cfg);
+
+  EXPECT_EQ(f.hub.view_count(), 4u);
+  EXPECT_EQ(f.hub.ring_count(), 2u);     // a+c+d share; b private
+  EXPECT_EQ(f.hub.tracker_count(), 2u);  // a+b+d share; c private
+  EXPECT_EQ(f.hub.density_count(), 2u);  // a+b+c share; d private
+}
+
+TEST(Hub, LaterAttachTimeGetsFreshComponents) {
+  // A view attached mid-run must not inherit another view's accumulated
+  // ring/ARMA/density history (pre-refactor monitors started empty).
+  HubFixture f;
+  MonitorConfig cfg = small_monitor();
+  auto a = std::make_unique<Monitor>(f.hub, 0, cfg);
+  f.sim.run_until(1 * kSecond);
+  Monitor b(f.hub, 0, cfg);
+  EXPECT_EQ(f.hub.ring_count(), 2u);
+  EXPECT_EQ(f.hub.tracker_count(), 2u);
+  EXPECT_EQ(f.hub.density_count(), 2u);
+}
+
+TEST(Hub, DetachReleasesViews) {
+  HubFixture f;
+  {
+    Monitor a(f.hub, 0, small_monitor());
+    EXPECT_EQ(f.hub.view_count(), 1u);
+  }
+  EXPECT_EQ(f.hub.view_count(), 0u);
+}
+
+TEST(Hub, LegacyMonitorCtorOwnsPrivateHub) {
+  // The pre-hub constructor signature still works and behaves like a
+  // monitor with a private hub.
+  HubFixture f;
+  Monitor m(f.sim, f.mac, f.timeline, 0, small_monitor());
+  EXPECT_EQ(m.hub().view_count(), 1u);
+  EXPECT_NE(&m.hub(), &f.hub);
+}
+
+}  // namespace
+}  // namespace manet::detect
