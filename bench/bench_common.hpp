@@ -136,4 +136,66 @@ inline std::vector<double> get_double_list(const util::Config& config,
   }
 }
 
+/// Scalar flag accessors with clean flag errors: Config::get_double /
+/// get_int throw ConfigError lazily (at first use, after parse_or_exit
+/// returned), which would otherwise escape main as an uncaught exception.
+inline double get_double_flag(const util::Config& config, const std::string& key) {
+  try {
+    return config.get_double(key);
+  } catch (const util::ConfigError& e) {
+    std::fprintf(stderr, "flag error: --%s: %s\n", key.c_str(), e.what());
+    std::exit(1);
+  }
+}
+
+inline long long get_int_flag(const util::Config& config, const std::string& key) {
+  try {
+    return config.get_int(key);
+  } catch (const util::ConfigError& e) {
+    std::fprintf(stderr, "flag error: --%s: %s\n", key.c_str(), e.what());
+    std::exit(1);
+  }
+}
+
+/// Parses a comma-separated list of identifiers ("pm50,colluding"): each
+/// token must be [A-Za-z0-9_]+; whitespace around tokens is ignored.
+/// Rejects anything else with util::ConfigError (strict, like
+/// parse_double_list).
+inline std::vector<std::string> parse_name_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::string token;
+  auto flush_token = [&out](const std::string& tok) {
+    if (tok.empty()) return;
+    for (char c : tok) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      if (!ok) {
+        throw util::ConfigError("'" + tok + "' is not an identifier");
+      }
+    }
+    out.push_back(tok);
+  };
+  for (char c : text) {
+    if (c == ',') {
+      flush_token(token);
+      token.clear();
+    } else if (c != ' ' && c != '\t') {
+      token.push_back(c);
+    }
+  }
+  flush_token(token);
+  return out;
+}
+
+/// parse_name_list on a declared flag with a clean flag error.
+inline std::vector<std::string> get_name_list(const util::Config& config,
+                                              const std::string& key) {
+  try {
+    return parse_name_list(config.get(key));
+  } catch (const util::ConfigError& e) {
+    std::fprintf(stderr, "flag error: --%s: %s\n", key.c_str(), e.what());
+    std::exit(1);
+  }
+}
+
 }  // namespace manet::bench

@@ -1,0 +1,225 @@
+// Adversary zoo v2 scored as ROC curves and time-to-detection — the
+// detection-quality harness (no counterpart figure in the paper, which
+// reports scalar detection/false-alarm endpoints for solo stationary
+// cheats; cf. Cao et al.'s argument in PAPERS.md that online detectors
+// must be judged by detection delay).
+//
+// One simulation per (attacker, trial) — plus a shared honest baseline —
+// collects the per-window decision stream; every detection threshold is a
+// post-hoc reduction of that stream (detect/roc.hpp), so the threshold
+// sweep costs nothing extra. All (point, trial) pairs share the engine's
+// work queue and the scoring is serial in a fixed order: output is
+// bit-identical for any --threads.
+//
+// The rts_flood points (and their matched honest baseline) enable the
+// anchorless RTS-gap bound (MonitorConfig::rts_gap_bound) — without it a
+// pure flood completes no exchange and would never produce a single
+// window to judge. Timing attackers are scored with the bound off so the
+// ROC reflects the Wilcoxon threshold trade-off, not the deterministic
+// bound (which also catches ordinary cheats on anchorless retries and
+// would flatten every curve).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "detect/roc.hpp"
+
+using namespace manet;
+
+int main(int argc, char** argv) {
+  util::Config config;
+  config.declare("attackers", "pm50,pm90,colluding,adaptive,sybil,rts_flood",
+                 "attacker classes scored (honest, pm<percent>, colluding, "
+                 "adaptive, sybil, rts_flood)");
+  config.declare("thresholds", "0.0005,0.001,0.005,0.01,0.05,0.1,0.2",
+                 "detection thresholds (p-value cutoffs) swept for the ROC; "
+                 "0.0005 sits below the ss=10 Wilcoxon floor of 1/2^10");
+  config.declare("load", "0.6", "target traffic intensity");
+  config.declare("sample_sizes", "10", "Wilcoxon window sizes");
+  config.declare("pm", "80", "cheat strength for colluding/adaptive/sybil");
+  config.declare("group", "3", "colluding group size / sybil identity count");
+  config.declare("collude_phase", "2.0",
+                 "seconds of one colluder's aggressive turn");
+  config.declare("probation", "30",
+                 "adaptive: honest until this many simulated seconds");
+  config.declare("vigilance", "0",
+                 "adaptive: lie low this long after overhearing the monitor");
+  config.declare("flood_pps", "1000", "mean bogus-RTS rate of the flooder");
+  config.declare("sim_time", "120", "simulated seconds per trial");
+  config.declare("runs", "4", "independent trials per attacker");
+  config.declare("seed", "601", "base random seed");
+  config.declare("margin", "0.10",
+                 "permissible back-off deficit (fraction of expected mean)");
+  bench::declare_engine_flags(config);
+  bench::declare_monitor_impl_flag(config);
+  bench::parse_or_exit(
+      argc, argv, config,
+      "Adversary zoo v2: per-attacker ROC curves and time-to-detection.");
+
+  const auto attacker_names = bench::get_name_list(config, "attackers");
+  const auto thresholds = bench::get_double_list(config, "thresholds");
+  const auto sample_sizes = bench::get_double_list(config, "sample_sizes");
+  const int runs = static_cast<int>(bench::get_int_flag(config, "runs"));
+  const double sim_time = bench::get_double_flag(config, "sim_time");
+  const double load = bench::get_double_flag(config, "load");
+  if (attacker_names.empty() || thresholds.empty() || sample_sizes.empty() ||
+      runs <= 0) {
+    std::fprintf(stderr,
+                 "flag error: need >= 1 attacker, threshold, sample size and run\n");
+    return 1;
+  }
+
+  detect::AttackerTuning tuning;
+  tuning.pm = bench::get_double_flag(config, "pm");
+  tuning.group =
+      static_cast<std::uint32_t>(bench::get_int_flag(config, "group"));
+  tuning.collude_phase_s = bench::get_double_flag(config, "collude_phase");
+  tuning.probation_s = bench::get_double_flag(config, "probation");
+  tuning.vigilance_s = bench::get_double_flag(config, "vigilance");
+  tuning.flood_pps = bench::get_double_flag(config, "flood_pps");
+
+  // Resolve every attacker name up front: a typo dies before any sim runs.
+  std::vector<detect::AttackerSpec> specs;
+  for (const std::string& name : attacker_names) {
+    try {
+      specs.push_back(detect::attacker_spec_from_name(name, tuning));
+    } catch (const util::ConfigError& e) {
+      std::fprintf(stderr, "flag error: --attackers: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  bench::print_header(
+      "Adversary zoo v2: ROC + time-to-detection per attacker class",
+      "colluding/adaptive/sybil attackers trade detectability for delay; an "
+      "RTS flood is caught deterministically via the anchorless gap bound");
+
+  net::ScenarioConfig scenario;  // Table-1 grid defaults
+  scenario.sim_seconds = sim_time;
+  scenario.seed = static_cast<std::uint64_t>(bench::get_int_flag(config, "seed"));
+
+  exp::Engine engine = bench::make_engine(config);
+  const auto sink = bench::make_sink(config);
+  bench::RateCache rates(scenario);
+  const double rate_pps = rates.rate_for(load);
+
+  auto make_point = [&](const detect::AttackerSpec& spec, bool gap_bound) {
+    detect::MultiDetectionConfig cfg;
+    cfg.scenario = scenario;
+    cfg.rate_pps = rate_pps;
+    cfg.attacker = spec;
+    cfg.share_hub = bench::share_hub_from(config);
+    cfg.collect_windows = true;
+    for (double ss : sample_sizes) {
+      detect::MonitorConfig m;
+      m.sample_size = static_cast<std::size_t>(ss);
+      m.margin_fraction = bench::get_double_flag(config, "margin");
+      m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;  // grid, Section 5
+      m.fixed_contenders = 20.0;
+      m.rts_gap_bound = gap_bound;
+      cfg.monitors.push_back(m);
+    }
+    return cfg;
+  };
+  auto uses_gap_bound = [](const detect::AttackerSpec& spec) {
+    return spec.kind == detect::AttackerKind::kRtsFlood;
+  };
+
+  // Points 0/1 are the shared honest baselines (the false-alarm side of
+  // every ROC), one per detector variant so each attacker is compared
+  // against the exact detector config that scored it.
+  const auto honest_spec = detect::attacker_spec_from_name("honest", tuning);
+  std::vector<detect::MultiDetectionConfig> points;
+  points.push_back(make_point(honest_spec, /*gap_bound=*/false));
+  points.push_back(make_point(honest_spec, /*gap_bound=*/true));
+  for (const auto& spec : specs) points.push_back(make_point(spec, uses_gap_bound(spec)));
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = detect::run_multi_detection_sweep(points, runs, engine);
+  const double sweep_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+          .count();
+
+  const double warmup_s = points.front().warmup_s;
+
+  for (std::size_t ai = 0; ai < specs.size(); ++ai) {
+    const auto& attack = results[ai + 2];
+    const auto& honest = uses_gap_bound(specs[ai]) ? results[1] : results[0];
+    for (std::size_t si = 0; si < sample_sizes.size(); ++si) {
+      const detect::RocCurve curve = detect::score_roc_curve(
+          attack.per_config[si], honest.per_config[si], thresholds, warmup_s);
+
+      std::printf("\n## %s (ss=%.0f): AUC = %.4f\n", attacker_names[ai].c_str(),
+                  sample_sizes[si], curve.auc);
+      std::printf("  %-10s  %-9s  %-9s  %-14s  %s\n", "threshold", "det-rate",
+                  "fa-rate", "detected", "median-ttd-s");
+      for (const auto& p : curve.points) {
+        std::printf("  %-10g  %-9.4f  %-9.4f  %3llu/%-3llu trials  ",
+                    p.threshold, p.detection_rate, p.false_alarm_rate,
+                    static_cast<unsigned long long>(p.detected_trials),
+                    static_cast<unsigned long long>(p.trials));
+        if (p.detected_trials > 0) {
+          std::printf("%.2f\n", p.median_ttd_s);
+        } else {
+          std::printf("-\n");
+        }
+        exp::Record rec;
+        rec.add("bench", "fig_roc_adversaries")
+            .add("attacker", attacker_names[ai])
+            .add("sample_size", sample_sizes[si])
+            .add("threshold", p.threshold)
+            .add("load", load)
+            .add("rate_pps", rate_pps)
+            .add("runs", runs)
+            .add("sim_time_s", sim_time)
+            .add("attack_windows", p.attack_windows)
+            .add("attack_flagged", p.attack_flagged)
+            .add("honest_windows", p.honest_windows)
+            .add("honest_flagged", p.honest_flagged)
+            .add("detection_rate", p.detection_rate)
+            .add("false_alarm_rate", p.false_alarm_rate)
+            .add("trials", p.trials)
+            .add("detected_trials", p.detected_trials)
+            .add("median_ttd_s", p.median_ttd_s)
+            .add("mean_ttd_s", p.mean_ttd_s)
+            .add("min_ttd_s", p.min_ttd_s)
+            .add("max_ttd_s", p.max_ttd_s)
+            .add("wall_seconds", attack.wall_seconds)
+            .add("threads", engine.threads());
+        sink->record(rec);
+      }
+
+      // Summary record per (attacker, sample size): the AUC plus TTD at
+      // the reference threshold (the one closest to the paper's 0.01).
+      std::size_t ref = 0;
+      for (std::size_t ti = 1; ti < curve.points.size(); ++ti) {
+        const double cur = curve.points[ti].threshold;
+        const double best = curve.points[ref].threshold;
+        if (std::abs(cur - 0.01) < std::abs(best - 0.01)) ref = ti;
+      }
+      const auto& rp = curve.points[ref];
+      exp::Record summary;
+      summary.add("bench", "fig_roc_adversaries_summary")
+          .add("attacker", attacker_names[ai])
+          .add("sample_size", sample_sizes[si])
+          .add("load", load)
+          .add("runs", runs)
+          .add("sim_time_s", sim_time)
+          .add("auc", curve.auc)
+          .add("ref_threshold", rp.threshold)
+          .add("ref_detection_rate", rp.detection_rate)
+          .add("ref_false_alarm_rate", rp.false_alarm_rate)
+          .add("ref_detected_trials", rp.detected_trials)
+          .add("ref_median_ttd_s", rp.median_ttd_s)
+          .add("first_flag_windows", attack.per_config[si].stats.windows_to_first_flag)
+          .add("threads", engine.threads());
+      sink->record(summary);
+    }
+  }
+  sink->flush();
+  std::printf("\n# sweep wall-clock: %.2f s (%u threads, %zu points x %d runs)\n",
+              sweep_wall, engine.threads(), points.size(), runs);
+  return 0;
+}

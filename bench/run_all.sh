@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs every figure/ablation bench with its --json sink enabled and merges
-# the per-bench JSON arrays into one BENCH_PR3.json object:
+# the per-bench JSON arrays into one BENCH_PR6.json object:
 #
 #   { "fig3_cond_prob_grid": [ {...}, ... ], "fig5_detection_static": [...] }
 #
@@ -20,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 build_dir=${1:-build-bench}
-out_json=${2:-BENCH_PR3.json}
+out_json=${2:-BENCH_PR6.json}
 threads=${THREADS:-0}
 
 if [[ ! -d "$build_dir/bench" ]]; then
@@ -44,6 +44,7 @@ default_benches=(
   fig6b_misdiagnosis_mobile
   fig_allpairs_monitoring
   robustness_loss_sweep
+  fig_roc_adversaries
   ablation_arma_alpha
   ablation_region_model
   ablation_estimator

@@ -71,6 +71,22 @@ diff <(strip_timing "$smoke_dir/ap_hub_t1.json") \
 diff <(strip_timing "$smoke_dir/ap_hub_t1.json") \
      <(strip_timing "$smoke_dir/ap_ref_t1.json") \
   || { echo "all-pairs hub output differs from reference pipeline"; exit 1; }
+echo "== adversary zoo / ROC harness smoke (ASan + UBSan) =="
+# Every v2 attacker (colluding schedule, adaptive probation, sybil alias
+# plumbing, RTS flooder + gap bound) exercised under the sanitizers, and
+# the scored ROC/TTD artifact must be bit-identical across thread counts.
+roc_flags=(--attackers=pm90,colluding,adaptive,sybil,rts_flood
+           --thresholds=0.001,0.01,0.1 --sim_time=15 --runs=2)
+./build-asan/bench/fig_roc_adversaries "${roc_flags[@]}" --threads=4 \
+    --json="$smoke_dir/roc_t4.json" >/dev/null
+./build-asan/bench/fig_roc_adversaries "${roc_flags[@]}" --threads=1 \
+    --json="$smoke_dir/roc_t1.json" >/dev/null
+grep -q '^{' "$smoke_dir/roc_t4.json" \
+  || { echo "empty JSON sink output: roc_t4.json"; exit 1; }
+diff <(strip_timing "$smoke_dir/roc_t1.json") \
+     <(strip_timing "$smoke_dir/roc_t4.json") \
+  || { echo "ROC harness output differs across thread counts"; exit 1; }
+
 # Fixed-iteration pass over the detection micro benches: the hub dispatch,
 # window-accounting memo, and scratch-reusing Wilcoxon under the sanitizers.
 ./build-asan/bench/micro_monitor \

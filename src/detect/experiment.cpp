@@ -7,6 +7,7 @@
 
 #include "exp/seeding.hpp"
 #include "exp/sweep.hpp"
+#include "mac/attackers.hpp"
 #include "phy/joint_tracker.hpp"
 
 namespace manet::detect {
@@ -45,6 +46,12 @@ void accumulate(MonitorStats& into, const MonitorStats& from) {
   into.seq_off_resyncs += from.seq_off_resyncs;
   into.frames_lost += from.frames_lost;
   into.windows_discarded_impaired += from.windows_discarded_impaired;
+  // First flag across monitors/trials: earliest wins, and its window
+  // ordinal travels with it (mixing ordinals across sources is meaningless).
+  if (from.first_flag_time < into.first_flag_time) {
+    into.first_flag_time = from.first_flag_time;
+    into.windows_to_first_flag = from.windows_to_first_flag;
+  }
 }
 
 double elapsed_seconds(std::chrono::steady_clock::time_point start) {
@@ -69,6 +76,7 @@ MultiDetectionResult run_multi_detection_trial(MultiDetectionConfig config,
 /// accumulation order — and therefore every aggregate — is identical for
 /// any thread count.
 MultiDetectionResult aggregate_trials(std::size_t monitor_count,
+                                      bool collect_windows,
                                       const std::vector<MultiDetectionResult>& trials) {
   MultiDetectionResult total;
   total.per_config.resize(monitor_count);
@@ -85,6 +93,7 @@ MultiDetectionResult aggregate_trials(std::size_t monitor_count,
       out.window_log.insert(out.window_log.end(),
                             r.per_config[i].window_log.begin(),
                             r.per_config[i].window_log.end());
+      if (collect_windows) out.trial_logs.push_back(r.per_config[i].window_log);
       accumulate(out.stats, r.per_config[i].stats);
     }
   }
@@ -151,24 +160,103 @@ MultiDetectionResult run_multi_detection_experiment(const MultiDetectionConfig& 
   if (config.monitors.empty()) {
     throw std::invalid_argument("need at least one monitor configuration");
   }
+  const AttackerSpec& atk = config.attacker;
+  if (config.mobile_handoff && (atk.kind == AttackerKind::kColluding ||
+                                atk.kind == AttackerKind::kSybil ||
+                                atk.kind == AttackerKind::kRtsFlood)) {
+    throw std::invalid_argument(
+        "mobile_handoff supports only solo single-identity attackers");
+  }
 
   net::Network net(config.scenario);
   const NodeId s = net.center_node();
   NodeId r = pick_neighbor(net, s, 0);
 
-  net::TrafficSource& tagged_flow = net.add_flow(s, r, config.rate_pps);
-  net.build_random_flows();
+  // The identities monitors watch: the tagged node itself, its whole
+  // colluding group, or a sybil's fake identities.
+  std::vector<NodeId> targets{s};
+
+  net::TrafficSource* tagged_flow = nullptr;
+  if (atk.kind != AttackerKind::kRtsFlood) {
+    tagged_flow = &net.add_flow(s, r, config.rate_pps);
+  }
+  if (atk.kind == AttackerKind::kColluding) {
+    // Group: S plus the nearest other in-range neighbors of the monitor —
+    // every member must be decodable by R for the rotation to show up in
+    // one monitor's samples. Members get their own flows towards R (a
+    // colluder without traffic never draws a back-off).
+    const auto nbrs = net.neighbors(r, net.config().prop.tx_range_m, 0);
+    const geom::Vec2 rp = net.position_of(r, 0);
+    std::vector<std::pair<double, NodeId>> ranked;
+    for (NodeId n : nbrs) {
+      if (n == s || n == r) continue;
+      ranked.emplace_back((net.position_of(n, 0) - rp).norm2(), n);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    std::vector<NodeId> members{s};
+    for (const auto& [dist, n] : ranked) {
+      (void)dist;
+      if (members.size() >= std::max(atk.group, 1u)) break;
+      members.push_back(n);
+    }
+    auto schedule = std::make_shared<const mac::CollusionSchedule>(
+        mac::CollusionSchedule{static_cast<std::uint32_t>(members.size()),
+                               seconds_to_time(atk.collude_phase_s)});
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      net.mac(members[i]).set_backoff_policy(std::make_unique<mac::ColludingBackoff>(
+          schedule, static_cast<std::uint32_t>(i), atk.pm));
+      if (members[i] != s) net.add_flow(members[i], r, config.rate_pps);
+    }
+    targets = members;
+  }
+  net.build_random_flows(atk.kind == AttackerKind::kRtsFlood
+                             ? std::vector<NodeId>{s}
+                             : std::vector<NodeId>{});
   net.set_flow_rates(config.rate_pps);
-  if (config.pm > 0.0) {
+  if (config.pm > 0.0 && atk.kind == AttackerKind::kNone) {
     net.mac(s).set_backoff_policy(
         std::make_unique<mac::PercentMisbehavior>(config.pm));
   }
+  switch (atk.kind) {
+    case AttackerKind::kNone:
+    case AttackerKind::kColluding:
+    case AttackerKind::kRtsFlood:  // started below, once `stop` is known
+      break;
+    case AttackerKind::kPm:
+      net.mac(s).set_backoff_policy(
+          std::make_unique<mac::PercentMisbehavior>(atk.pm));
+      break;
+    case AttackerKind::kAdaptive: {
+      auto policy = std::make_unique<mac::AdaptiveBackoff>(
+          atk.pm, seconds_to_time(atk.probation_s),
+          seconds_to_time(atk.vigilance_s),
+          atk.suspect_monitor ? std::vector<NodeId>{r} : std::vector<NodeId>{});
+      net.mac(s).add_observer(policy.get());
+      net.mac(s).set_backoff_policy(std::move(policy));
+      break;
+    }
+    case AttackerKind::kSybil: {
+      std::vector<NodeId> aliases;
+      aliases.reserve(std::max(atk.group, 1u));
+      for (std::uint32_t i = 0; i < std::max(atk.group, 1u); ++i) {
+        aliases.push_back(mac::kSybilAliasBase + i);
+      }
+      auto state = std::make_shared<mac::SybilState>(aliases, net.mac(s).params());
+      net.mac(s).set_backoff_policy(
+          std::make_unique<mac::SybilBackoff>(state, atk.pm));
+      net.mac(s).set_announce_policy(std::make_unique<mac::SybilAnnounce>(state));
+      for (NodeId a : aliases) net.mac(s).add_identity_alias(a);
+      targets = aliases;
+      break;
+    }
+  }
 
   // Monitors are created lazily per monitoring node: one instance per
-  // configuration, all watching S, activated/deactivated together. With
-  // share_hub they are views over one ObservationHub per node; otherwise
-  // each gets a private hub (structurally the pre-hub pipeline — the
-  // equivalence/benchmark reference). Readout iterates `monitor_order`
+  // (configuration, target identity) — config-major, so view ci*T+ti is
+  // configuration ci watching target ti — activated/deactivated together.
+  // With share_hub they are views over one ObservationHub per node;
+  // otherwise each gets a private hub (structurally the pre-hub pipeline —
+  // the equivalence/benchmark reference). Readout iterates `monitor_order`
   // (creation order) so window logs are deterministic.
   struct NodeMonitors {
     std::unique_ptr<ObservationHub> hub;  // null when !share_hub
@@ -180,17 +268,21 @@ MultiDetectionResult run_multi_detection_experiment(const MultiDetectionConfig& 
     auto it = monitors.find(node);
     if (it == monitors.end()) {
       NodeMonitors set;
-      set.views.reserve(config.monitors.size());
+      set.views.reserve(config.monitors.size() * targets.size());
       if (config.share_hub) {
         set.hub = std::make_unique<ObservationHub>(
             net.simulator(), net.mac(node), net.timeline(node));
         for (const MonitorConfig& mc : config.monitors) {
-          set.views.push_back(std::make_unique<Monitor>(*set.hub, s, mc));
+          for (const NodeId target : targets) {
+            set.views.push_back(std::make_unique<Monitor>(*set.hub, target, mc));
+          }
         }
       } else {
         for (const MonitorConfig& mc : config.monitors) {
-          set.views.push_back(std::make_unique<Monitor>(
-              net.simulator(), net.mac(node), net.timeline(node), s, mc));
+          for (const NodeId target : targets) {
+            set.views.push_back(std::make_unique<Monitor>(
+                net.simulator(), net.mac(node), net.timeline(node), target, mc));
+          }
         }
       }
       it = monitors.emplace(node, std::move(set)).first;
@@ -220,6 +312,17 @@ MultiDetectionResult run_multi_detection_experiment(const MultiDetectionConfig& 
   const SimTime stop = seconds_to_time(config.scenario.sim_seconds);
   net.start_traffic(0, stop);
 
+  std::unique_ptr<mac::RtsFlooder> flooder;
+  if (atk.kind == AttackerKind::kRtsFlood) {
+    mac::RtsFloodConfig flood;
+    flood.rate_pps = atk.flood_pps;
+    flood.victim = r;
+    flood.seed = config.scenario.seed ^ 0x9E3779B97F4A7C15ull;
+    flooder = std::make_unique<mac::RtsFlooder>(net.simulator(), net.radio(s),
+                                                net.mac(s).params(), flood);
+    flooder->start(0, stop);
+  }
+
   const NodeId initial_r = r;
 
   // Long-horizon traffic intensity at the initial monitor: snapshot the
@@ -245,7 +348,7 @@ MultiDetectionResult run_multi_detection_experiment(const MultiDetectionConfig& 
           set_active(r, false);
           r = pick_neighbor(net, s, now);
           set_active(r, true);
-          tagged_flow.set_destination(r);
+          tagged_flow->set_destination(r);
           ++result.handoffs;
         }
       }
@@ -257,18 +360,22 @@ MultiDetectionResult run_multi_detection_experiment(const MultiDetectionConfig& 
   net.run_until(stop);
 
   result.monitor_nodes = monitor_order.size();
+  const std::size_t target_count = targets.size();
   for (const NodeId node : monitor_order) {
     const NodeMonitors& set = monitors.at(node);
-    for (std::size_t i = 0; i < set.views.size(); ++i) {
-      DetectionResult& out = result.per_config[i];
-      for (const WindowResult& w : set.views[i]->windows()) {
-        if (w.at < warmup) continue;
-        ++out.windows;
-        if (w.flagged()) ++out.flagged;
-        if (w.statistical_flag) ++out.flagged_statistical;
-        if (config.collect_windows) out.window_log.push_back(w);
+    for (std::size_t ci = 0; ci < config.monitors.size(); ++ci) {
+      DetectionResult& out = result.per_config[ci];
+      for (std::size_t ti = 0; ti < target_count; ++ti) {
+        const Monitor& view = *set.views[ci * target_count + ti];
+        for (const WindowResult& w : view.windows()) {
+          if (w.at < warmup) continue;
+          ++out.windows;
+          if (w.flagged()) ++out.flagged;
+          if (w.statistical_flag) ++out.flagged_statistical;
+          if (config.collect_windows) out.window_log.push_back(w);
+        }
+        accumulate(out.stats, view.stats());
       }
-      accumulate(out.stats, set.views[i]->stats());
     }
   }
   result.measured_rho =
@@ -313,7 +420,8 @@ std::vector<MultiDetectionResult> run_multi_detection_sweep(
   std::vector<MultiDetectionResult> aggregated;
   aggregated.reserve(points.size());
   for (std::size_t p = 0; p < points.size(); ++p) {
-    aggregated.push_back(aggregate_trials(points[p].monitors.size(), per_point[p]));
+    aggregated.push_back(aggregate_trials(
+        points[p].monitors.size(), points[p].collect_windows, per_point[p]));
   }
   return aggregated;
 }

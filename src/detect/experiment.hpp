@@ -51,6 +51,30 @@ CondProbResult run_cond_prob_experiment(const CondProbConfig& config);
 std::vector<CondProbResult> run_cond_prob_sweep(
     const std::vector<CondProbConfig>& points, exp::Engine& engine);
 
+// --- Adversary zoo v2 (mac/attackers.hpp) ------------------------------------
+
+enum class AttackerKind : std::uint8_t {
+  kNone,       // honest (or the legacy scalar `pm` knob of the config)
+  kPm,         // the paper's solo stationary PM cheat on the tagged node
+  kColluding,  // rotating group: one member aggressive at a time
+  kAdaptive,   // honest during probation / monitor vigilance, cheats otherwise
+  kSybil,      // violations spread across fake MAC identities
+  kRtsFlood,   // bogus-RTS DoS, no data traffic from the tagged node
+};
+
+/// Declarative attacker selection for the detection experiments. The
+/// default kind keeps the legacy behavior (scalar `pm` field) bit-exact.
+struct AttackerSpec {
+  AttackerKind kind = AttackerKind::kNone;
+  double pm = 50.0;              // cheat strength (pm/colluding/adaptive/sybil)
+  std::uint32_t group = 3;       // colluders, or sybil identities
+  double collude_phase_s = 2.0;  // one member's aggressive turn
+  double probation_s = 30.0;     // adaptive: honest until this sim time
+  double vigilance_s = 0.0;      // adaptive: lie low this long after hearing a monitor
+  bool suspect_monitor = false;  // adaptive: treat the monitor node as suspect
+  double flood_pps = 1000.0;     // mean bogus-RTS rate
+};
+
 // --- Detection / misdiagnosis (Figures 5-6) ---------------------------------
 
 struct DetectionConfig {
@@ -75,6 +99,11 @@ struct DetectionResult {
   /// (only when MultiDetectionConfig::collect_windows; equivalence tests
   /// compare these sequences element-wise across pipeline variants).
   std::vector<WindowResult> window_log;
+  /// The same decision stream split per trial, in trial order (filled by
+  /// the trials/sweep entry points under collect_windows). The ROC/TTD
+  /// scorer (detect/roc.hpp) needs per-trial first-crossing times, which
+  /// the flattened window_log loses.
+  std::vector<std::vector<WindowResult>> trial_logs;
   double detection_rate = 0.0;              // flagged / windows
   double statistical_rate = 0.0;            // flagged_statistical / windows
   double measured_rho = 0.0;    // intensity at the (initial) monitor
@@ -109,6 +138,11 @@ struct MultiDetectionConfig {
   net::ScenarioConfig scenario;
   double rate_pps = 20.0;
   double pm = 0.0;
+  /// Adversary zoo v2 selection. kNone leaves the legacy `pm` path (and
+  /// every existing artifact) untouched. Multi-identity kinds (colluding,
+  /// sybil) monitor every involved identity and sum the verdicts;
+  /// kRtsFlood replaces the tagged node's data flow with the flooder.
+  AttackerSpec attacker;
   std::vector<MonitorConfig> monitors;   // one entry per configuration
   double warmup_s = 3.0;
   bool mobile_handoff = false;

@@ -186,6 +186,7 @@ void Monitor::handle_tagged_rts(const mac::Frame& rts, SimTime start) {
   // Bookkeeping for the next RTS (previous values feed the retry check).
   const std::optional<crypto::Md5Digest> prev_digest = last_digest_;
   const std::uint32_t prev_attempt = last_attempt_;
+  const std::optional<SimTime> prev_rts_heard = last_rts_heard_;
   last_seq_off_ = seq;
   last_rts_heard_ = start;
   last_digest_ = rts.data_digest;
@@ -197,6 +198,32 @@ void Monitor::handle_tagged_rts(const mac::Frame& rts, SimTime start) {
   own_cts_pending_ = false;
 
   if (!anchor_ || *anchor_ >= start || ambiguous_anchor) {
+    if (config_.rts_gap_bound && config_.deterministic_checks &&
+        config_.prs_aware && prev_rts_heard) {
+      // No anchor, but physics still bounds the countdown: even if S
+      // started its back-off the instant its previous RTS left the air and
+      // every slot since was idle, at most (gap - DIFS) / slot slots fit.
+      // An RTS flood ignores back-off entirely, so its dictated values
+      // routinely exceed the bound; honest senders never do (their real
+      // elapsed time includes the dictated countdown plus timeouts).
+      const SimTime prev_end = *prev_rts_heard + params.rts_airtime();
+      const SimDuration gap = start > prev_end ? start - prev_end : 0;
+      const double max_slots =
+          gap > params.difs
+              ? static_cast<double>(gap - params.difs) /
+                    static_cast<double>(params.slot_time)
+              : 0.0;
+      if (expected > max_slots + 1.0) {
+        ++stats_.impossible_backoff;
+        // There may never be Wilcoxon samples to latch this onto (a pure
+        // flood completes no exchanges): emit the verdict immediately.
+        WindowResult result;
+        result.at = sim_.now();
+        result.p_less = 1.0;
+        result.deterministic_flag = true;
+        record_window(result);
+      }
+    }
     ++stats_.skipped_no_anchor;
     if (resynced) anchor_.reset();
     if (deterministic_violation) window_deterministic_flag_ = true;
@@ -344,13 +371,23 @@ void Monitor::close_window() {
   result.p_less = test.p_less;
   result.statistical_flag = test.p_less < config_.alpha;
 
-  ++stats_.windows;
-  if (result.flagged()) ++stats_.flagged_windows;
-  windows_.push_back(result);
+  record_window(result);
 
   xs_.clear();
   ys_.clear();
   window_deterministic_flag_ = false;
+}
+
+void Monitor::record_window(const WindowResult& result) {
+  ++stats_.windows;
+  if (result.flagged()) {
+    ++stats_.flagged_windows;
+    if (stats_.first_flag_time == kTimeNever) {
+      stats_.first_flag_time = result.at;
+      stats_.windows_to_first_flag = stats_.windows;
+    }
+  }
+  windows_.push_back(result);
 }
 
 }  // namespace manet::detect

@@ -121,6 +121,17 @@ struct MonitorConfig {
 
   bool deterministic_checks = true;
 
+  /// Anchorless timing bound for RTS streams that never complete an
+  /// exchange (RTS-flood DoS, mac/attackers.hpp): when an RTS arrives with
+  /// no usable window anchor, the gap since the previous RTS's air end
+  /// still upper-bounds how many slots the sender could have counted down;
+  /// a dictated value exceeding the bound is an impossible back-off. Such
+  /// violations close an immediate single-shot deterministic window (there
+  /// may never be Wilcoxon samples to attach them to). Off by default:
+  /// the bound also catches ordinary cheats on anchorless retries, which
+  /// would perturb the paper-faithful fig5/fig6 statistics.
+  bool rts_gap_bound = false;
+
   /// Largest forward SeqOff# gap (count of RTSes the monitor evidently
   /// missed) attributed to lossy observation rather than misbehavior. A
   /// tolerated gap *resynchronizes* the monitor's PRS position to the
@@ -186,6 +197,12 @@ struct MonitorStats {
   std::uint64_t seq_off_resyncs = 0;     // tolerated gaps: PRS resynchronized
   std::uint64_t frames_lost = 0;         // RTSes inferred missed (gap sizes)
   std::uint64_t windows_discarded_impaired = 0;  // samples dropped: loss/outage
+
+  // Time-to-detection, readable without the full window decision stream:
+  // sim time the first flagged window closed at (kTimeNever while the
+  // tagged node was never flagged) and that window's 1-based ordinal.
+  SimTime first_flag_time = kTimeNever;
+  std::uint64_t windows_to_first_flag = 0;
 
   bool operator==(const MonitorStats&) const = default;
 };
@@ -259,6 +276,9 @@ class Monitor : public HubView {
   void note_exchange_end(SimTime at);
   void add_sample(double expected, double observed, bool deterministic_violation);
   void close_window();
+  /// Appends a completed window verdict (close_window and the anchorless
+  /// rts_gap_bound path) with the shared flag/first-flag bookkeeping.
+  void record_window(const WindowResult& result);
   /// Unwraps the 13-bit announced offset against the last seen offset.
   std::uint64_t unwrap_seq_off(std::uint32_t announced);
 

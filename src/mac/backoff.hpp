@@ -55,6 +55,10 @@ struct BackoffContext {
   std::uint32_t attempt = 1;      // 1-based
   std::uint32_t cw = 31;          // contention window for this attempt
   std::uint64_t seq_index = 0;
+  /// Simulation time the back-off is drawn at. Time-varying policies
+  /// (colluding phase rotation, adaptive probation — mac/attackers.hpp)
+  /// key their behavior off it; stationary policies ignore it.
+  SimTime now = 0;
 };
 
 class BackoffPolicy {
@@ -134,6 +138,12 @@ struct AnnounceContext {
 struct AnnouncedFields {
   std::uint64_t seq_off = 0;
   std::uint32_t attempt = 1;
+  /// Transmitter address to stamp on the RTS and DATA frames of this
+  /// exchange. kInvalidNode (the default) announces the node's true MAC;
+  /// a sybil attacker substitutes one of its fake identities here (the
+  /// DCF then answers CTS/ACK addressed to any identity it registered via
+  /// DcfMac::add_identity_alias).
+  NodeId claimed = kInvalidNode;
 };
 
 class AnnouncePolicy {

@@ -26,6 +26,11 @@ void DcfMac::set_announce_policy(std::unique_ptr<AnnouncePolicy> policy) {
   announce_policy_ = std::move(policy);
 }
 
+void DcfMac::add_identity_alias(NodeId alias) {
+  assert(alias != id() && alias != kBroadcastNode && alias != kInvalidNode);
+  identity_aliases_.push_back(alias);
+}
+
 bool DcfMac::enqueue(NodeId dest, std::uint32_t payload_bytes,
                      std::uint64_t payload_id) {
   return enqueue_frame(make_data(id(), dest, payload_bytes, payload_id, params_));
@@ -62,6 +67,7 @@ void DcfMac::prepare_backoff() {
   ctx.cw = params_.cw_for_attempt(attempt_);
   ctx.dictated_slots = prs_.dictated_slots(seq_index_, attempt_);
   ctx.raw_prs_value = prs_.raw_value(seq_index_);
+  ctx.now = sim_.now();
   remaining_slots_ = backoff_policy_->used_slots(ctx);
   backoff_pending_ = true;
   counting_ = false;
@@ -139,6 +145,16 @@ void DcfMac::freeze_countdown() {
 void DcfMac::backoff_complete() {
   assert(phase_ == SenderPhase::kContending);
   assert(current_);
+  if (radio_.transmitting()) {
+    // The shared radio is mid-transmission (an attached RtsFlooder bursts
+    // outside our control). Keep the countdown pending; it completes once
+    // the carrier drops and the post-busy DIFS elapses.
+    counting_ = false;
+    backoff_pending_ = true;
+    remaining_slots_ = 0;
+    reevaluate();
+    return;
+  }
   counting_ = false;
   backoff_pending_ = false;
 
@@ -157,7 +173,12 @@ void DcfMac::backoff_complete() {
   const AnnouncedFields fields = announce_policy_->announced(actx);
   ++seq_index_;  // the index is consumed whether or not it was announced honestly
 
-  Frame rts = make_rts(id(), current_->receiver, *current_,
+  // A sybil announce policy substitutes a claimed identity: the DATA frame
+  // (and thus the RTS digest), the RTS transmitter, and later the CTS/ACK
+  // addresses all carry the alias, so the exchange is self-consistent from
+  // any monitor's viewpoint.
+  if (fields.claimed != kInvalidNode) current_->transmitter = fields.claimed;
+  Frame rts = make_rts(current_->transmitter, current_->receiver, *current_,
                        static_cast<std::uint32_t>(fields.seq_off),
                        static_cast<std::uint8_t>(fields.attempt), params_);
   phase_ = SenderPhase::kTxRts;
@@ -204,8 +225,12 @@ void DcfMac::schedule_response(const Frame& response, OwnTxKind kind) {
 }
 
 void DcfMac::on_transmit_end(std::uint64_t signal_id) {
-  assert(own_tx_active_ && signal_id == own_tx_id_);
-  (void)signal_id;
+  if (!own_tx_active_ || signal_id != own_tx_id_) {
+    // A foreign transmission on our radio (an attached RtsFlooder shares
+    // it) finished; our own sender state is untouched by it.
+    reevaluate();
+    return;
+  }
   const OwnTxKind kind = own_tx_kind_;
   own_tx_active_ = false;
 
@@ -279,7 +304,7 @@ void DcfMac::on_receive(const phy::Signal& signal) {
     return;
   }
 
-  if (frame->receiver != id()) {
+  if (!owns_address(frame->receiver)) {
     // Overheard: honor the NAV.
     update_nav(signal.end + frame->duration, frame->type == FrameType::kRts);
     reevaluate();

@@ -89,6 +89,20 @@ class DcfMac : public phy::RadioListener {
   /// Replaces the RTS announcement behavior (default: honest).
   void set_announce_policy(std::unique_ptr<AnnouncePolicy> policy);
 
+  /// Registers a fake MAC identity this station also answers to (sybil
+  /// attackers, mac/attackers.hpp): frames addressed to an alias are
+  /// treated as addressed to this node. The announce policy picks which
+  /// identity each exchange claims (AnnouncedFields::claimed).
+  void add_identity_alias(NodeId alias);
+  /// True for this node's own address or any registered alias.
+  bool owns_address(NodeId address) const {
+    if (address == id()) return true;
+    for (NodeId a : identity_aliases_) {
+      if (a == address) return true;
+    }
+    return false;
+  }
+
   /// Queues a payload for `dest` (kBroadcastNode sends an unacknowledged
   /// group-addressed frame without RTS/CTS). Returns false (and counts a
   /// queue drop) when the interface queue is full.
@@ -150,6 +164,7 @@ class DcfMac : public phy::RadioListener {
   VerifiableBackoff prs_;
   std::unique_ptr<BackoffPolicy> backoff_policy_;
   std::unique_ptr<AnnouncePolicy> announce_policy_;
+  std::vector<NodeId> identity_aliases_;  // empty for every honest node
 
   std::deque<Frame> queue_;
   std::unique_ptr<Frame> current_;

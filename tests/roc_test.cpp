@@ -1,0 +1,209 @@
+// ROC / time-to-detection scoring (src/detect/roc.*): synthetic decision
+// streams with known answers, threshold monotonicity, the attacker-name
+// vocabulary, and thread-count invariance of an end-to-end scored sweep.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "detect/roc.hpp"
+#include "exp/engine.hpp"
+#include "util/config.hpp"
+
+namespace manet::detect {
+namespace {
+
+WindowResult window(double at_s, double p_less, bool deterministic = false) {
+  WindowResult w;
+  w.at = seconds_to_time(at_s);
+  w.p_less = p_less;
+  w.statistical_flag = false;  // ignored by the scorer: thresholds re-derive
+  w.deterministic_flag = deterministic;
+  return w;
+}
+
+TEST(RocScoring, SyntheticStreamsScoreExactly) {
+  // Two attack trials: one flags its 2nd window (p = 0.004 at t = 12 s),
+  // one never crosses any swept threshold. One honest trial with a single
+  // borderline window (p = 0.04).
+  DetectionResult attack;
+  attack.trial_logs = {
+      {window(11.0, 0.5), window(12.0, 0.004), window(13.0, 0.2)},
+      {window(11.5, 0.6), window(12.5, 0.3)},
+  };
+  DetectionResult honest;
+  honest.trial_logs = {{window(11.0, 0.9), window(12.0, 0.04)}};
+
+  const double warmup_s = 10.0;
+  const auto curve =
+      score_roc_curve(attack, honest, {0.01, 0.05}, warmup_s);
+
+  ASSERT_EQ(curve.points.size(), 2u);
+  const auto& tight = curve.points[0];
+  EXPECT_EQ(tight.threshold, 0.01);
+  EXPECT_EQ(tight.attack_windows, 5u);
+  EXPECT_EQ(tight.attack_flagged, 1u);
+  EXPECT_EQ(tight.honest_windows, 2u);
+  EXPECT_EQ(tight.honest_flagged, 0u);
+  EXPECT_DOUBLE_EQ(tight.detection_rate, 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(tight.false_alarm_rate, 0.0);
+  EXPECT_EQ(tight.trials, 2u);
+  EXPECT_EQ(tight.detected_trials, 1u);
+  ASSERT_EQ(tight.ttd_s.size(), 1u);
+  EXPECT_DOUBLE_EQ(tight.ttd_s[0], 2.0);  // 12 s close - 10 s warm-up
+  EXPECT_DOUBLE_EQ(tight.median_ttd_s, 2.0);
+
+  const auto& loose = curve.points[1];
+  EXPECT_EQ(loose.attack_flagged, 1u);   // only the p = 0.004 window
+  EXPECT_EQ(loose.honest_flagged, 1u);   // 0.04 < 0.05
+  EXPECT_DOUBLE_EQ(loose.false_alarm_rate, 0.5);
+}
+
+TEST(RocScoring, DeterministicFlagsCountAtEveryThreshold) {
+  DetectionResult attack;
+  attack.trial_logs = {{window(10.5, 1.0, /*deterministic=*/true)}};
+  DetectionResult honest;
+  honest.trial_logs = {{window(10.5, 1.0)}};
+
+  const auto curve = score_roc_curve(attack, honest, {0.001, 0.1}, 10.0);
+  for (const auto& p : curve.points) {
+    EXPECT_EQ(p.attack_flagged, 1u) << "threshold " << p.threshold;
+    EXPECT_EQ(p.detected_trials, 1u);
+    EXPECT_EQ(p.honest_flagged, 0u);
+  }
+}
+
+TEST(RocScoring, PerfectSeparationHasUnitAucAndChanceHasHalf) {
+  DetectionResult attack;
+  attack.trial_logs = {{window(11.0, 0.0001), window(12.0, 0.0002)}};
+  DetectionResult honest;
+  honest.trial_logs = {{window(11.0, 0.9), window(12.0, 0.8)}};
+  const auto perfect = score_roc_curve(attack, honest, {0.001, 0.5}, 10.0);
+  EXPECT_DOUBLE_EQ(perfect.auc, 1.0);
+
+  // Identical streams on both sides: every threshold lands on the
+  // diagonal, so the trapezoid area is exactly 1/2.
+  DetectionResult same;
+  same.trial_logs = {{window(11.0, 0.3), window(12.0, 0.7)}};
+  const auto chance =
+      score_roc_curve(same, same, {0.1, 0.5, 0.9}, 10.0);
+  EXPECT_DOUBLE_EQ(chance.auc, 0.5);
+}
+
+TEST(RocScoring, RatesAreMonotoneInTheThreshold) {
+  // Mixed stream with many distinct p-values.
+  DetectionResult attack, honest;
+  std::vector<WindowResult> a, h;
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(window(11.0 + 0.1 * i, (i % 10) * 0.011));
+    h.push_back(window(11.0 + 0.1 * i, 1.0 - (i % 13) * 0.07));
+  }
+  attack.trial_logs = {a};
+  honest.trial_logs = {h};
+
+  const std::vector<double> thresholds = {0.001, 0.01, 0.02, 0.05, 0.1, 0.5};
+  const auto curve = score_roc_curve(attack, honest, thresholds, 10.0);
+  ASSERT_EQ(curve.points.size(), thresholds.size());
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].detection_rate, curve.points[i - 1].detection_rate);
+    EXPECT_GE(curve.points[i].false_alarm_rate,
+              curve.points[i - 1].false_alarm_rate);
+    EXPECT_GE(curve.points[i].detected_trials, curve.points[i - 1].detected_trials);
+  }
+}
+
+TEST(AttackerNames, VocabularyMapsOntoSpecs) {
+  AttackerTuning tuning;
+  tuning.pm = 77;
+  tuning.group = 4;
+  tuning.probation_s = 12.0;
+  tuning.flood_pps = 250.0;
+
+  EXPECT_EQ(attacker_spec_from_name("honest", tuning).kind, AttackerKind::kNone);
+  EXPECT_EQ(attacker_spec_from_name("honest", tuning).pm, 0.0);
+
+  const auto pm = attacker_spec_from_name("pm65", tuning);
+  EXPECT_EQ(pm.kind, AttackerKind::kPm);
+  EXPECT_EQ(pm.pm, 65.0);
+
+  const auto colluding = attacker_spec_from_name("colluding", tuning);
+  EXPECT_EQ(colluding.kind, AttackerKind::kColluding);
+  EXPECT_EQ(colluding.pm, 77.0);
+  EXPECT_EQ(colluding.group, 4u);
+
+  const auto adaptive = attacker_spec_from_name("adaptive", tuning);
+  EXPECT_EQ(adaptive.kind, AttackerKind::kAdaptive);
+  EXPECT_EQ(adaptive.probation_s, 12.0);
+
+  EXPECT_EQ(attacker_spec_from_name("sybil", tuning).kind, AttackerKind::kSybil);
+
+  const auto flood = attacker_spec_from_name("rts_flood", tuning);
+  EXPECT_EQ(flood.kind, AttackerKind::kRtsFlood);
+  EXPECT_EQ(flood.flood_pps, 250.0);
+
+  EXPECT_EQ(default_attacker_names().size(), 6u);
+}
+
+TEST(AttackerNames, RejectsUnknownAndMalformedNames) {
+  const AttackerTuning tuning;
+  for (const char* bad : {"bogus", "pm", "pm1x0", "pm101", "pm-5", "PM50", ""}) {
+    EXPECT_THROW(attacker_spec_from_name(bad, tuning), util::ConfigError)
+        << "name '" << bad << "'";
+  }
+}
+
+TEST(RocSweep, BitIdenticalAcrossEngineThreadCounts) {
+  net::ScenarioConfig scenario;
+  scenario.grid_rows = 3;
+  scenario.grid_cols = 4;
+  scenario.num_flows = 5;
+  scenario.sim_seconds = 8.0;
+  scenario.seed = 77;
+
+  AttackerTuning tuning;
+  tuning.pm = 90;
+  std::vector<MultiDetectionConfig> points;
+  for (const char* name : {"honest", "pm90", "colluding"}) {
+    MultiDetectionConfig cfg;
+    cfg.scenario = scenario;
+    cfg.rate_pps = 25;
+    cfg.attacker = attacker_spec_from_name(name, tuning);
+    MonitorConfig m;
+    m.sample_size = 10;
+    m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 3.0;
+    m.fixed_contenders = 8.0;
+    cfg.monitors = {m};
+    cfg.collect_windows = true;
+    points.push_back(cfg);
+  }
+
+  exp::Engine serial(1), parallel(4);
+  const auto one = run_multi_detection_sweep(points, 2, serial);
+  const auto four = run_multi_detection_sweep(points, 2, parallel);
+
+  const std::vector<double> thresholds = {0.001, 0.01, 0.1};
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t p = 1; p < one.size(); ++p) {
+    const auto c1 = score_roc_curve(one[p].per_config[0], one[0].per_config[0],
+                                    thresholds, points[p].warmup_s);
+    const auto c4 = score_roc_curve(four[p].per_config[0], four[0].per_config[0],
+                                    thresholds, points[p].warmup_s);
+    EXPECT_EQ(c1.auc, c4.auc) << "point " << p;
+    ASSERT_EQ(c1.points.size(), c4.points.size());
+    for (std::size_t i = 0; i < c1.points.size(); ++i) {
+      EXPECT_EQ(c1.points[i].detection_rate, c4.points[i].detection_rate);
+      EXPECT_EQ(c1.points[i].false_alarm_rate, c4.points[i].false_alarm_rate);
+      EXPECT_EQ(c1.points[i].ttd_s, c4.points[i].ttd_s);
+    }
+    // The underlying decision streams match element-wise too.
+    ASSERT_EQ(one[p].per_config[0].trial_logs.size(),
+              four[p].per_config[0].trial_logs.size());
+    for (std::size_t t = 0; t < one[p].per_config[0].trial_logs.size(); ++t) {
+      EXPECT_EQ(one[p].per_config[0].trial_logs[t],
+                four[p].per_config[0].trial_logs[t])
+          << "point " << p << " trial " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace manet::detect
