@@ -14,34 +14,34 @@
 using namespace manet;
 
 int main(int argc, char** argv) {
-  util::Config config;
-  config.declare("load", "0.6", "target traffic intensity");
-  config.declare("alphas", "0.9,0.99,0.995,0.999", "ARMA alphas probed");
-  config.declare("pm", "50", "PM for the detection half of the study");
-  config.declare("sim_time", "180", "simulated seconds per run");
-  config.declare("sample_size", "10", "Wilcoxon window size");
-  config.declare("runs", "1", "independent runs per point (consecutive seeds)");
-  config.declare("seed", "701", "base random seed");
-  bench::declare_engine_flags(config);
-  bench::parse_or_exit(argc, argv, config,
-                       "Ablation: ARMA alpha sensitivity (Eq. 6).");
+  bench::FlagSet flags(
+      "Ablation: ARMA alpha sensitivity (Eq. 6).");
+  flags.add_double("load", 0.6, "target traffic intensity");
+  flags.add_double_list("alphas", "0.9,0.99,0.995,0.999", "ARMA alphas probed");
+  flags.add_double("pm", 50, "PM for the detection half of the study");
+  flags.add_double("sim_time", 180, "simulated seconds per run");
+  flags.add_int("sample_size", 10, "Wilcoxon window size");
+  flags.add_int("runs", 1, "independent runs per point (consecutive seeds)");
+  flags.add_int("seed", 701, "base random seed");
+  flags.add_engine_flags();
+  flags.parse_or_exit(argc, argv);
 
   bench::print_header(
       "Ablation: ARMA smoothing constant",
       "results insensitive to alpha near 1 (paper uses 0.995)");
 
   net::ScenarioConfig scenario;
-  scenario.sim_seconds = config.get_double("sim_time");
-  scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+  scenario.sim_seconds = flags.get_double("sim_time");
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
-  exp::Engine engine = bench::make_engine(config);
-  const auto sink = bench::make_sink(config);
+  exp::Engine engine = flags.make_engine();
+  const auto sink = flags.make_sink();
   bench::RateCache rates(scenario);
-  const double rate = rates.rate_for(config.get_double("load"));
-  const auto alphas = bench::get_double_list(config, "alphas");
-  const int runs = static_cast<int>(config.get_int("runs"));
+  const double rate = rates.rate_for(flags.get_double("load"));
+  const auto alphas = flags.get_double_list("alphas");
+  const int runs = static_cast<int>(flags.get_int("runs"));
 
-  const std::vector<double> pms = {config.get_double("pm"), 0.0};
+  const std::vector<double> pms = {flags.get_double("pm"), 0.0};
   std::vector<detect::MultiDetectionConfig> points;
   for (double pm : pms) {
     detect::MultiDetectionConfig cfg;
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     cfg.pm = pm;
     for (double a : alphas) {
       detect::MonitorConfig m;
-      m.sample_size = static_cast<std::size_t>(config.get_int("sample_size"));
+      m.sample_size = static_cast<std::size_t>(flags.get_int("sample_size"));
       m.arma_alpha = a;
       m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;
       m.fixed_contenders = 20.0;
@@ -76,10 +76,10 @@ int main(int argc, char** argv) {
       rec.add("bench", "ablation_arma_alpha")
           .add("pm", pm)
           .add("arma_alpha", alphas[i])
-          .add("load", config.get_double("load"))
+          .add("load", flags.get_double("load"))
           .add("rate_pps", rate)
           .add("runs", runs)
-          .add("sim_time_s", config.get_double("sim_time"))
+          .add("sim_time_s", flags.get_double("sim_time"))
           .add("windows", r.windows)
           .add("flagged", r.flagged)
           .add("rate", r.detection_rate)

@@ -49,7 +49,10 @@ Diag run_once(const net::ScenarioConfig& scenario, double rate, double pm,
   mc.record_samples = true;
   mc.fixed_n = mc.fixed_k = mc.fixed_m = mc.fixed_j = 5.0;
   mc.fixed_contenders = 20.0;
-  detect::Monitor monitor(net.simulator(), net.mac(r), net.timeline(r), s, mc);
+  const auto monitor_ptr =
+      detect::MonitorFactory(net.simulator(), net.mac(r), net.timeline(r))
+          .watch(s, mc);
+  detect::Monitor& monitor = *monitor_ptr;
 
   const SimTime stop = seconds_to_time(scenario.sim_seconds);
   net.start_traffic(0, stop);
@@ -83,32 +86,32 @@ struct Cell {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Config config;
-  config.declare("loads", "0.3,0.6,0.9", "target traffic intensities");
-  config.declare("pms", "0,25,50,90", "PM values probed");
-  config.declare("sim_time", "120", "simulated seconds per point");
-  config.declare("sample_size", "10", "Wilcoxon window size");
-  config.declare("seed", "501", "random seed");
-  bench::declare_engine_flags(config);
-  bench::parse_or_exit(argc, argv, config,
-                       "Ablation: estimator bias and mapping choice.");
+  bench::FlagSet flags(
+      "Ablation: estimator bias and mapping choice.");
+  flags.add_double_list("loads", "0.3,0.6,0.9", "target traffic intensities");
+  flags.add_double_list("pms", "0,25,50,90", "PM values probed");
+  flags.add_double("sim_time", 120, "simulated seconds per point");
+  flags.add_int("sample_size", 10, "Wilcoxon window size");
+  flags.add_int("seed", 501, "random seed");
+  flags.add_engine_flags();
+  flags.parse_or_exit(argc, argv);
 
   bench::print_header(
       "Ablation: system-state estimator (activity mapping, bias, correlation)",
       "y tracks x (ratio ~1, positive correlation) under H0; ratio drops with PM");
 
   net::ScenarioConfig scenario;
-  scenario.sim_seconds = config.get_double("sim_time");
-  scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+  scenario.sim_seconds = flags.get_double("sim_time");
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
-  exp::Engine engine = bench::make_engine(config);
-  const auto sink = bench::make_sink(config);
+  exp::Engine engine = flags.make_engine();
+  const auto sink = flags.make_sink();
   bench::RateCache rates(scenario);
 
-  const auto loads = bench::get_double_list(config, "loads");
-  const auto pms = bench::get_double_list(config, "pms");
+  const auto loads = flags.get_double_list("loads");
+  const auto pms = flags.get_double_list("pms");
   const std::size_t sample_size =
-      static_cast<std::size_t>(config.get_int("sample_size"));
+      static_cast<std::size_t>(flags.get_int("sample_size"));
 
   const std::vector<double> load_rates = engine.map(
       loads.size(), [&](std::size_t i) { return rates.rate_for(loads[i]); });
@@ -147,7 +150,7 @@ int main(int argc, char** argv) {
         .add("pm", c.pm)
         .add("mapping", mapping_name)
         .add("rate_pps", c.rate)
-        .add("sim_time_s", config.get_double("sim_time"))
+        .add("sim_time_s", flags.get_double("sim_time"))
         .add("mean_expected", d.mean_x)
         .add("mean_observed", d.mean_y)
         .add("bias_ratio", d.ratio)

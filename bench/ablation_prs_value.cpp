@@ -20,17 +20,17 @@
 using namespace manet;
 
 int main(int argc, char** argv) {
-  util::Config config;
-  config.declare("load", "0.6", "target traffic intensity");
-  config.declare("pms", "0,10,25,50,90", "PM values swept");
-  config.declare("sim_time", "240", "simulated seconds per PM point");
-  config.declare("sample_size", "10", "Wilcoxon window size");
-  config.declare("runs", "2", "independent runs per point");
-  config.declare("seed", "801", "base random seed");
-  bench::declare_engine_flags(config);
-  bench::parse_or_exit(argc, argv, config,
-                       "Ablation: verifiable-PRS monitor vs PRS-unaware "
+  bench::FlagSet flags(
+      "Ablation: verifiable-PRS monitor vs PRS-unaware "
                        "baseline watcher.");
+  flags.add_double("load", 0.6, "target traffic intensity");
+  flags.add_double_list("pms", "0,10,25,50,90", "PM values swept");
+  flags.add_double("sim_time", 240, "simulated seconds per PM point");
+  flags.add_int("sample_size", 10, "Wilcoxon window size");
+  flags.add_int("runs", 2, "independent runs per point");
+  flags.add_int("seed", 801, "base random seed");
+  flags.add_engine_flags();
+  flags.parse_or_exit(argc, argv);
 
   bench::print_header(
       "Ablation: value of the verifiable PRS",
@@ -38,15 +38,15 @@ int main(int argc, char** argv) {
       "most statistical power");
 
   net::ScenarioConfig scenario;
-  scenario.sim_seconds = config.get_double("sim_time");
-  scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+  scenario.sim_seconds = flags.get_double("sim_time");
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
-  exp::Engine engine = bench::make_engine(config);
-  const auto sink = bench::make_sink(config);
+  exp::Engine engine = flags.make_engine();
+  const auto sink = flags.make_sink();
   bench::RateCache rates(scenario);
-  const double rate = rates.rate_for(config.get_double("load"));
-  const auto pms = bench::get_double_list(config, "pms");
-  const int runs = static_cast<int>(config.get_int("runs"));
+  const double rate = rates.rate_for(flags.get_double("load"));
+  const auto pms = flags.get_double_list("pms");
+  const int runs = static_cast<int>(flags.get_int("runs"));
 
   std::vector<detect::MultiDetectionConfig> points;
   for (double pm : pms) {
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
     cfg.pm = pm;
     for (bool prs_aware : {true, false}) {
       detect::MonitorConfig m;
-      m.sample_size = static_cast<std::size_t>(config.get_int("sample_size"));
+      m.sample_size = static_cast<std::size_t>(flags.get_int("sample_size"));
       m.prs_aware = prs_aware;
       m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;
       m.fixed_contenders = 20.0;
@@ -87,10 +87,10 @@ int main(int argc, char** argv) {
     exp::Record rec;
     rec.add("bench", "ablation_prs_value")
         .add("pm", pms[i])
-        .add("load", config.get_double("load"))
+        .add("load", flags.get_double("load"))
         .add("rate_pps", rate)
         .add("runs", runs)
-        .add("sim_time_s", config.get_double("sim_time"))
+        .add("sim_time_s", flags.get_double("sim_time"))
         .add("full_windows", full.windows)
         .add("full_rate", full.detection_rate)
         .add("baseline_windows", base.windows)

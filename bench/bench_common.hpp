@@ -1,201 +1,21 @@
-// Shared plumbing for the figure-reproduction benches: flag handling,
-// engine construction (--threads), result sinks (--json), and strict
-// numeric-list parsing. Load calibration lives in the engine layer
+// Shared plumbing for the figure-reproduction benches. Flag handling lives
+// in flag_set.hpp (bench::FlagSet — typed declarative registration, auto
+// --help, unknown-flag errors). Load calibration lives in the engine layer
 // (exp::RateCache — thread-safe, shareable across bench processes via
 // $MANET_RATE_CACHE); `bench::RateCache` is an alias for it.
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
-#include <memory>
-#include <string>
-#include <vector>
 
-#include "exp/engine.hpp"
 #include "exp/rate_cache.hpp"
-#include "exp/sink.hpp"
-#include "net/scenario.hpp"
-#include "util/config.hpp"
-#include "util/flags.hpp"
+#include "flag_set.hpp"
 
 namespace manet::bench {
 
 using RateCache = exp::RateCache;
 
-/// Parses --key=value flags into `config`; prints help and exits(0) when
-/// --help is passed; exits(1) on bad flags.
-inline void parse_or_exit(int argc, char** argv, util::Config& config,
-                          const char* description) {
-  try {
-    const auto parsed = util::parse_flags(argc, argv, config);
-    if (parsed.help) {
-      std::printf("%s\n\nFlags (--key=value):\n%s", description,
-                  config.render().c_str());
-      std::exit(0);
-    }
-  } catch (const util::ConfigError& e) {
-    std::fprintf(stderr, "flag error: %s\n", e.what());
-    std::exit(1);
-  }
-}
-
-/// Declares the experiment-engine flags every sweep bench shares.
-inline void declare_engine_flags(util::Config& config) {
-  config.declare("threads", "0",
-                 "worker threads for trial fan-out (0 = all hardware threads)");
-  config.declare("json", "",
-                 "write one JSON record per sweep point to this file");
-}
-
-/// Declares --monitor_impl for detection benches: "hub" (shared
-/// ObservationHub per monitoring node, the optimized pipeline) or
-/// "reference" (private hub per monitor, structurally the pre-hub
-/// pipeline). Results are bit-identical either way — perf_pr5.sh diffs
-/// them — so the flag is deliberately NOT part of the JSON records.
-inline void declare_monitor_impl_flag(util::Config& config) {
-  config.declare("monitor_impl", "hub",
-                 "detection pipeline: hub (shared per-node observation hub) "
-                 "or reference (private per-monitor state; perf baseline)");
-}
-
-/// share_hub value for the --monitor_impl flag; exits on unknown values.
-inline bool share_hub_from(const util::Config& config) {
-  const std::string& impl = config.get("monitor_impl");
-  if (impl == "hub") return true;
-  if (impl == "reference") return false;
-  std::fprintf(stderr, "flag error: --monitor_impl must be hub or reference\n");
-  std::exit(1);
-}
-
-inline exp::Engine make_engine(const util::Config& config) {
-  const long long threads = config.get_int("threads");
-  if (threads < 0) {
-    std::fprintf(stderr, "flag error: --threads must be >= 0\n");
-    std::exit(1);
-  }
-  return exp::Engine(static_cast<unsigned>(threads));
-}
-
-/// Builds the --json sink (NullSink when the flag is empty).
-inline std::shared_ptr<exp::ResultSink> make_sink(const util::Config& config) {
-  const std::string& path = config.get("json");
-  if (path.empty()) return std::make_shared<exp::NullSink>();
-  try {
-    return std::make_shared<exp::JsonFileSink>(path);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "flag error: --json: %s\n", e.what());
-    std::exit(1);
-  }
-}
-
 inline void print_header(const char* figure, const char* claim) {
   std::printf("# %s\n# Paper claim: %s\n", figure, claim);
-}
-
-/// Parses a comma-separated list of doubles ("0.3,0.6,0.9"). Rejects
-/// malformed entries ("0.3,x", "1.2.3") with util::ConfigError instead of
-/// letting std::stod terminate the process.
-inline std::vector<double> parse_double_list(const std::string& text) {
-  std::vector<double> out;
-  std::string token;
-  auto flush_token = [&out](const std::string& tok) {
-    if (tok.empty()) return;
-    std::size_t consumed = 0;
-    double value = 0.0;
-    try {
-      value = std::stod(tok, &consumed);
-    } catch (const std::exception&) {
-      throw util::ConfigError("'" + tok + "' is not a number");
-    }
-    if (consumed != tok.size()) {
-      throw util::ConfigError("'" + tok + "' has trailing characters");
-    }
-    out.push_back(value);
-  };
-  for (char c : text) {
-    if (c == ',') {
-      flush_token(token);
-      token.clear();
-    } else if (c != ' ' && c != '\t') {
-      token.push_back(c);
-    }
-  }
-  flush_token(token);
-  return out;
-}
-
-/// parse_double_list on a declared flag, exiting with a clean flag error
-/// (instead of an uncaught exception) on malformed input.
-inline std::vector<double> get_double_list(const util::Config& config,
-                                           const std::string& key) {
-  try {
-    return parse_double_list(config.get(key));
-  } catch (const util::ConfigError& e) {
-    std::fprintf(stderr, "flag error: --%s: %s\n", key.c_str(), e.what());
-    std::exit(1);
-  }
-}
-
-/// Scalar flag accessors with clean flag errors: Config::get_double /
-/// get_int throw ConfigError lazily (at first use, after parse_or_exit
-/// returned), which would otherwise escape main as an uncaught exception.
-inline double get_double_flag(const util::Config& config, const std::string& key) {
-  try {
-    return config.get_double(key);
-  } catch (const util::ConfigError& e) {
-    std::fprintf(stderr, "flag error: --%s: %s\n", key.c_str(), e.what());
-    std::exit(1);
-  }
-}
-
-inline long long get_int_flag(const util::Config& config, const std::string& key) {
-  try {
-    return config.get_int(key);
-  } catch (const util::ConfigError& e) {
-    std::fprintf(stderr, "flag error: --%s: %s\n", key.c_str(), e.what());
-    std::exit(1);
-  }
-}
-
-/// Parses a comma-separated list of identifiers ("pm50,colluding"): each
-/// token must be [A-Za-z0-9_]+; whitespace around tokens is ignored.
-/// Rejects anything else with util::ConfigError (strict, like
-/// parse_double_list).
-inline std::vector<std::string> parse_name_list(const std::string& text) {
-  std::vector<std::string> out;
-  std::string token;
-  auto flush_token = [&out](const std::string& tok) {
-    if (tok.empty()) return;
-    for (char c : tok) {
-      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                      (c >= '0' && c <= '9') || c == '_';
-      if (!ok) {
-        throw util::ConfigError("'" + tok + "' is not an identifier");
-      }
-    }
-    out.push_back(tok);
-  };
-  for (char c : text) {
-    if (c == ',') {
-      flush_token(token);
-      token.clear();
-    } else if (c != ' ' && c != '\t') {
-      token.push_back(c);
-    }
-  }
-  flush_token(token);
-  return out;
-}
-
-/// parse_name_list on a declared flag with a clean flag error.
-inline std::vector<std::string> get_name_list(const util::Config& config,
-                                              const std::string& key) {
-  try {
-    return parse_name_list(config.get(key));
-  } catch (const util::ConfigError& e) {
-    std::fprintf(stderr, "flag error: --%s: %s\n", key.c_str(), e.what());
-    std::exit(1);
-  }
 }
 
 }  // namespace manet::bench

@@ -18,19 +18,18 @@
 using namespace manet;
 
 int main(int argc, char** argv) {
-  util::Config config;
-  config.declare("attackers", "3", "number of misbehaving nodes");
-  config.declare("pm", "65", "percentage of misbehavior of each attacker");
-  config.declare("rate", "6", "per-flow packet rate (multi-hop flows)");
-  config.declare("num_flows", "20", "number of multi-hop background flows");
-  config.declare("sim_time", "180", "simulated seconds");
-  config.declare("sample_size", "10", "Wilcoxon window size");
-  config.declare("seed", "901", "random seed");
-  config.declare("json", "",
-                 "write one JSON record per watched suspect to this file");
-  bench::parse_or_exit(argc, argv, config,
-                       "Extension: multi-hop AODV traffic + multiple attackers.");
-  const auto sink = bench::make_sink(config);
+  bench::FlagSet flags(
+      "Extension: multi-hop AODV traffic + multiple attackers.");
+  flags.add_int("attackers", 3, "number of misbehaving nodes");
+  flags.add_double("pm", 65, "percentage of misbehavior of each attacker");
+  flags.add_double("rate", 6, "per-flow packet rate (multi-hop flows)");
+  flags.add_int("num_flows", 20, "number of multi-hop background flows");
+  flags.add_double("sim_time", 180, "simulated seconds");
+  flags.add_int("sample_size", 10, "Wilcoxon window size");
+  flags.add_int("seed", 901, "random seed");
+  flags.add_string("json", "", "write one JSON record per watched suspect to this file");
+  flags.parse_or_exit(argc, argv);
+  const auto sink = flags.make_sink();
 
   bench::print_header(
       "Extension: multi-hop routing and multiple attackers",
@@ -40,14 +39,14 @@ int main(int argc, char** argv) {
   net::ScenarioConfig scenario;
   scenario.routing = net::RoutingKind::kAodv;
   scenario.flow_pattern = net::FlowPattern::kAny;
-  scenario.num_flows = static_cast<std::size_t>(config.get_int("num_flows"));
-  scenario.packets_per_second = config.get_double("rate");
-  scenario.sim_seconds = config.get_double("sim_time");
-  scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+  scenario.num_flows = static_cast<std::size_t>(flags.get_int("num_flows"));
+  scenario.packets_per_second = flags.get_double("rate");
+  scenario.sim_seconds = flags.get_double("sim_time");
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
   net::Network net(scenario);
-  const int n_attackers = static_cast<int>(config.get_int("attackers"));
-  const double pm = config.get_double("pm");
+  const int n_attackers = static_cast<int>(flags.get_int("attackers"));
+  const double pm = flags.get_double("pm");
 
   // Attackers: the center node and nodes stepping outward from it; each
   // gets a saturated one-hop flow (so it actually contends) plus a monitor
@@ -74,7 +73,7 @@ int main(int argc, char** argv) {
   std::vector<Watch> watches;
 
   detect::MonitorConfig mc;
-  mc.sample_size = static_cast<std::size_t>(config.get_int("sample_size"));
+  mc.sample_size = static_cast<std::size_t>(flags.get_int("sample_size"));
   mc.fixed_n = mc.fixed_k = mc.fixed_m = mc.fixed_j = 5.0;
   mc.fixed_contenders = 20.0;
 
@@ -88,10 +87,10 @@ int main(int argc, char** argv) {
       net.mac(s).set_backoff_policy(std::make_unique<mac::PercentMisbehavior>(pm));
     }
     net.add_flow(s, r, 25.0);  // keep the suspect contending
-    watches.push_back(Watch{s, r, is_attacker,
-                            std::make_unique<detect::Monitor>(
-                                net.simulator(), net.mac(r), net.timeline(r),
-                                s, mc)});
+    watches.push_back(
+        Watch{s, r, is_attacker,
+              detect::MonitorFactory(net.simulator(), net.mac(r), net.timeline(r))
+                  .watch(s, mc)});
   }
 
   net.build_random_flows(/*exclude=*/tagged);
@@ -121,7 +120,7 @@ int main(int argc, char** argv) {
         .add("windows", st.windows)
         .add("flagged", st.flagged_windows)
         .add("flag_rate", w.monitor->flag_rate())
-        .add("sim_time_s", config.get_double("sim_time"));
+        .add("sim_time_s", flags.get_double("sim_time"));
     sink->record(rec);
   }
   sink->flush();

@@ -16,34 +16,33 @@
 using namespace manet;
 
 int main(int argc, char** argv) {
-  util::Config config;
-  config.declare("measure_time", "40", "seconds measured per point");
-  config.declare("warmup", "3", "warm-up seconds per point");
-  config.declare("seed", "1", "base random seed");
-  config.declare("rates", "2,4,7,11,16,24,40,70,120",
-                 "per-flow packet rates swept (pkt/s)");
-  bench::declare_engine_flags(config);
-  bench::parse_or_exit(argc, argv, config,
-                       "Figure 3(a)/(b): p(S busy | R idle) and p(S idle | R busy),"
+  bench::FlagSet flags(
+      "Figure 3(a)/(b): p(S busy | R idle) and p(S idle | R busy),"
                        " Poisson traffic, grid topology.");
+  flags.add_double("measure_time", 40, "seconds measured per point");
+  flags.add_double("warmup", 3, "warm-up seconds per point");
+  flags.add_int("seed", 1, "base random seed");
+  flags.add_double_list("rates", "2,4,7,11,16,24,40,70,120", "per-flow packet rates swept (pkt/s)");
+  flags.add_engine_flags();
+  flags.parse_or_exit(argc, argv);
 
   bench::print_header(
       "Figure 3: conditional probabilities (Poisson, grid)",
       "p(B|I) grows with traffic intensity, p(I|B) shrinks; analysis tracks simulation");
 
-  const auto rates = bench::get_double_list(config, "rates");
-  exp::Engine engine = bench::make_engine(config);
-  const auto sink = bench::make_sink(config);
+  const auto rates = flags.get_double_list("rates");
+  exp::Engine engine = flags.make_engine();
+  const auto sink = flags.make_sink();
 
   std::vector<detect::CondProbConfig> points;
   for (double rate : rates) {
     detect::CondProbConfig cfg;
     cfg.scenario.traffic = net::TrafficKind::kPoisson;   // Fig. 3 setting
     cfg.scenario.topology = net::TopologyKind::kGrid;
-    cfg.scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+    cfg.scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
     cfg.rate_pps = rate;
-    cfg.warmup_s = config.get_double("warmup");
-    cfg.measure_s = config.get_double("measure_time");
+    cfg.warmup_s = flags.get_double("warmup");
+    cfg.measure_s = flags.get_double("measure_time");
     cfg.monitor.fixed_n = cfg.monitor.fixed_k = 5.0;  // paper Section 5
     cfg.monitor.fixed_m = cfg.monitor.fixed_j = 5.0;
     cfg.monitor.fixed_contenders = 20.0;
@@ -63,7 +62,7 @@ int main(int argc, char** argv) {
     exp::Record rec;
     rec.add("bench", "fig3_cond_prob_grid")
         .add("rate_pps", rates[i])
-        .add("measure_time_s", config.get_double("measure_time"))
+        .add("measure_time_s", flags.get_double("measure_time"))
         .add("intensity", r.measured_rho)
         .add("sim_p_busy_given_idle", r.sim_p_busy_given_idle)
         .add("ana_p_busy_given_idle", r.ana_p_busy_given_idle)

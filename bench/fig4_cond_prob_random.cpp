@@ -14,24 +14,23 @@
 using namespace manet;
 
 int main(int argc, char** argv) {
-  util::Config config;
-  config.declare("measure_time", "40", "seconds measured per point");
-  config.declare("warmup", "3", "warm-up seconds per point");
-  config.declare("seed", "3", "base random seed");
-  config.declare("rates", "2,4,7,11,16,24,40,70,120",
-                 "per-flow packet rates swept (pkt/s)");
-  bench::declare_engine_flags(config);
-  bench::parse_or_exit(argc, argv, config,
-                       "Figure 4(a)/(b): conditional probabilities, CBR traffic,"
+  bench::FlagSet flags(
+      "Figure 4(a)/(b): conditional probabilities, CBR traffic,"
                        " random topology.");
+  flags.add_double("measure_time", 40, "seconds measured per point");
+  flags.add_double("warmup", 3, "warm-up seconds per point");
+  flags.add_int("seed", 3, "base random seed");
+  flags.add_double_list("rates", "2,4,7,11,16,24,40,70,120", "per-flow packet rates swept (pkt/s)");
+  flags.add_engine_flags();
+  flags.parse_or_exit(argc, argv);
 
   bench::print_header(
       "Figure 4: conditional probabilities (CBR, random topology)",
       "same trends as the grid: p(B|I) grows, p(I|B) shrinks, analysis tracks simulation");
 
-  const auto rates = bench::get_double_list(config, "rates");
-  exp::Engine engine = bench::make_engine(config);
-  const auto sink = bench::make_sink(config);
+  const auto rates = flags.get_double_list("rates");
+  exp::Engine engine = flags.make_engine();
+  const auto sink = flags.make_sink();
 
   // Density-derived region counts for the uniform random layout — what the
   // paper's online estimator converges to.
@@ -48,10 +47,10 @@ int main(int argc, char** argv) {
     detect::CondProbConfig cfg;
     cfg.scenario = proto;
     cfg.scenario.traffic = net::TrafficKind::kCbr;       // Fig. 4 setting
-    cfg.scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+    cfg.scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
     cfg.rate_pps = rate;
-    cfg.warmup_s = config.get_double("warmup");
-    cfg.measure_s = config.get_double("measure_time");
+    cfg.warmup_s = flags.get_double("warmup");
+    cfg.measure_s = flags.get_double("measure_time");
     cfg.monitor.fixed_k = density * regions.areas().a1;
     cfg.monitor.fixed_n = density * regions.areas().a2;
     cfg.monitor.fixed_m = density * regions.areas().a4;
@@ -73,7 +72,7 @@ int main(int argc, char** argv) {
     exp::Record rec;
     rec.add("bench", "fig4_cond_prob_random")
         .add("rate_pps", rates[i])
-        .add("measure_time_s", config.get_double("measure_time"))
+        .add("measure_time_s", flags.get_double("measure_time"))
         .add("intensity", r.measured_rho)
         .add("sim_p_busy_given_idle", r.sim_p_busy_given_idle)
         .add("ana_p_busy_given_idle", r.ana_p_busy_given_idle)

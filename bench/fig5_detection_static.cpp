@@ -18,31 +18,27 @@
 using namespace manet;
 
 int main(int argc, char** argv) {
-  util::Config config;
-  config.declare("loads", "0.3,0.6,0.9", "target traffic intensities (Fig. 5 a-c)");
-  config.declare("pms", "10,25,40,50,65,80,90,100",
-                 "percentages of misbehavior swept");
-  config.declare("sample_sizes", "10,25,50,100", "Wilcoxon window sizes");
-  config.declare("sim_time", "300", "simulated seconds per (load, PM) point");
-  config.declare("runs", "2", "independent runs per point (consecutive seeds)");
-  config.declare("seed", "101", "base random seed");
-  config.declare("alpha", "0.01", "significance level for rejecting H0");
-  config.declare("margin", "0.10",
-                 "permissible back-off deficit (fraction of expected mean)");
-  config.declare("attackers", "",
-                 "extra adversary-zoo rows per load (colluding, adaptive, "
+  bench::FlagSet flags(
+      "Figure 5(a)-(c): probability of correct diagnosis vs PM, static grid.");
+  flags.add_double_list("loads", "0.3,0.6,0.9", "target traffic intensities (Fig. 5 a-c)");
+  flags.add_double_list("pms", "10,25,40,50,65,80,90,100", "percentages of misbehavior swept");
+  flags.add_double_list("sample_sizes", "10,25,50,100", "Wilcoxon window sizes");
+  flags.add_double("sim_time", 300, "simulated seconds per (load, PM) point");
+  flags.add_int("runs", 2, "independent runs per point (consecutive seeds)");
+  flags.add_int("seed", 101, "base random seed");
+  flags.add_double("alpha", 0.01, "significance level for rejecting H0");
+  flags.add_double("margin", 0.10, "permissible back-off deficit (fraction of expected mean)");
+  flags.add_name_list("attackers", "", "extra adversary-zoo rows per load (colluding, adaptive, "
                  "sybil, rts_flood, pm<percent>); empty keeps the paper grid "
                  "byte-identical");
-  bench::declare_engine_flags(config);
-  bench::declare_monitor_impl_flag(config);
-  bench::parse_or_exit(
-      argc, argv, config,
-      "Figure 5(a)-(c): probability of correct diagnosis vs PM, static grid.");
+  flags.add_engine_flags();
+  flags.add_monitor_impl_flag();
+  flags.parse_or_exit(argc, argv);
 
-  const auto loads = bench::get_double_list(config, "loads");
-  const auto pms = bench::get_double_list(config, "pms");
-  const auto sample_sizes = bench::get_double_list(config, "sample_sizes");
-  const int runs = static_cast<int>(config.get_int("runs"));
+  const auto loads = flags.get_double_list("loads");
+  const auto pms = flags.get_double_list("pms");
+  const auto sample_sizes = flags.get_double_list("sample_sizes");
+  const int runs = static_cast<int>(flags.get_int("runs"));
 
   bench::print_header(
       "Figure 5(a)-(c): probability of correct diagnosis, static grid",
@@ -50,11 +46,11 @@ int main(int argc, char** argv) {
       "subtler misbehavior (PM=25 w.p. ~1 at sample size 100)");
 
   net::ScenarioConfig scenario;  // Table-1 grid defaults
-  scenario.sim_seconds = config.get_double("sim_time");
-  scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+  scenario.sim_seconds = flags.get_double("sim_time");
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
-  exp::Engine engine = bench::make_engine(config);
-  const auto sink = bench::make_sink(config);
+  exp::Engine engine = flags.make_engine();
+  const auto sink = flags.make_sink();
   bench::RateCache rates(scenario);
 
   // Calibrate every load up-front, across the workers.
@@ -69,12 +65,12 @@ int main(int argc, char** argv) {
       cfg.scenario = scenario;
       cfg.rate_pps = load_rates[li];
       cfg.pm = pm;
-      cfg.share_hub = bench::share_hub_from(config);
+      cfg.share_hub = flags.share_hub();
       for (double ss : sample_sizes) {
         detect::MonitorConfig m;
         m.sample_size = static_cast<std::size_t>(ss);
-        m.alpha = config.get_double("alpha");
-        m.margin_fraction = config.get_double("margin");
+        m.alpha = flags.get_double("alpha");
+        m.margin_fraction = flags.get_double("margin");
         m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;  // grid, Section 5
         m.fixed_contenders = 20.0;
         cfg.monitors.push_back(m);
@@ -116,7 +112,7 @@ int main(int argc, char** argv) {
             .add("sample_size", sample_sizes[si])
             .add("rate_pps", load_rates[li])
             .add("runs", runs)
-            .add("sim_time_s", config.get_double("sim_time"))
+            .add("sim_time_s", flags.get_double("sim_time"))
             .add("windows", r.windows)
             .add("flagged", r.flagged)
             .add("flagged_statistical", r.flagged_statistical)
@@ -134,7 +130,7 @@ int main(int argc, char** argv) {
   // flood enable the anchorless RTS-gap bound — that row would otherwise
   // never produce a window to score; timing attackers keep the paper's
   // statistical detector so the columns stay comparable to the PM grid.
-  const auto attacker_names = bench::get_name_list(config, "attackers");
+  const auto attacker_names = flags.get_name_list("attackers");
   double extra_wall = 0.0;
   if (!attacker_names.empty()) {
     const detect::AttackerTuning tuning;  // zoo defaults (pm 80, group 3)
@@ -152,12 +148,12 @@ int main(int argc, char** argv) {
         cfg.scenario = scenario;
         cfg.rate_pps = load_rates[li];
         cfg.attacker = spec;
-        cfg.share_hub = bench::share_hub_from(config);
+        cfg.share_hub = flags.share_hub();
         for (double ss : sample_sizes) {
           detect::MonitorConfig m;
           m.sample_size = static_cast<std::size_t>(ss);
-          m.alpha = config.get_double("alpha");
-          m.margin_fraction = config.get_double("margin");
+          m.alpha = flags.get_double("alpha");
+          m.margin_fraction = flags.get_double("margin");
           m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;
           m.fixed_contenders = 20.0;
           m.rts_gap_bound = (spec.kind == detect::AttackerKind::kRtsFlood);
@@ -200,7 +196,7 @@ int main(int argc, char** argv) {
               .add("sample_size", sample_sizes[si])
               .add("rate_pps", load_rates[li])
               .add("runs", runs)
-              .add("sim_time_s", config.get_double("sim_time"))
+              .add("sim_time_s", flags.get_double("sim_time"))
               .add("windows", r.windows)
               .add("flagged", r.flagged)
               .add("flagged_statistical", r.flagged_statistical)

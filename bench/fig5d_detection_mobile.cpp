@@ -14,26 +14,26 @@
 using namespace manet;
 
 int main(int argc, char** argv) {
-  util::Config config;
-  config.declare("load", "0.6", "target traffic intensity");
-  config.declare("pms", "10,25,40,50,65,80,90,100", "PM values swept");
-  config.declare("sample_sizes", "10,25,50,100", "Wilcoxon window sizes");
-  config.declare("sim_time", "300", "simulated seconds per PM point");
-  config.declare("runs", "1", "independent runs per point");
-  config.declare("seed", "211", "base random seed");
-  config.declare("alpha", "0.01", "significance level");
-  config.declare("margin", "0.10", "permissible deficit fraction");
-  config.declare("max_speed", "20", "random waypoint max speed (m/s)");
-  config.declare("pause", "0", "random waypoint pause time (s)");
-  bench::declare_engine_flags(config);
-  bench::declare_monitor_impl_flag(config);
-  bench::parse_or_exit(argc, argv, config,
-                       "Figure 5(d): probability of correct diagnosis with "
+  bench::FlagSet flags(
+      "Figure 5(d): probability of correct diagnosis with "
                        "mobility (random waypoint), load 0.6.");
+  flags.add_double("load", 0.6, "target traffic intensity");
+  flags.add_double_list("pms", "10,25,40,50,65,80,90,100", "PM values swept");
+  flags.add_double_list("sample_sizes", "10,25,50,100", "Wilcoxon window sizes");
+  flags.add_double("sim_time", 300, "simulated seconds per PM point");
+  flags.add_int("runs", 1, "independent runs per point");
+  flags.add_int("seed", 211, "base random seed");
+  flags.add_double("alpha", 0.01, "significance level");
+  flags.add_double("margin", 0.10, "permissible deficit fraction");
+  flags.add_double("max_speed", 20, "random waypoint max speed (m/s)");
+  flags.add_double("pause", 0, "random waypoint pause time (s)");
+  flags.add_engine_flags();
+  flags.add_monitor_impl_flag();
+  flags.parse_or_exit(argc, argv);
 
-  const auto pms = bench::get_double_list(config, "pms");
-  const auto sample_sizes = bench::get_double_list(config, "sample_sizes");
-  const int runs = static_cast<int>(config.get_int("runs"));
+  const auto pms = flags.get_double_list("pms");
+  const auto sample_sizes = flags.get_double_list("sample_sizes");
+  const int runs = static_cast<int>(flags.get_int("runs"));
 
   bench::print_header(
       "Figure 5(d): probability of correct diagnosis with mobility (load 0.6)",
@@ -42,19 +42,19 @@ int main(int argc, char** argv) {
 
   net::ScenarioConfig scenario;
   scenario.mobility = net::MobilityKind::kRandomWaypoint;
-  scenario.max_speed_mps = config.get_double("max_speed");
-  scenario.pause_s = config.get_double("pause");
-  scenario.sim_seconds = config.get_double("sim_time");
-  scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+  scenario.max_speed_mps = flags.get_double("max_speed");
+  scenario.pause_s = flags.get_double("pause");
+  scenario.sim_seconds = flags.get_double("sim_time");
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
-  exp::Engine engine = bench::make_engine(config);
-  const auto sink = bench::make_sink(config);
+  exp::Engine engine = flags.make_engine();
+  const auto sink = flags.make_sink();
 
   // Calibrate on the mobile scenario itself: random-waypoint motion spreads
   // the initially dense grid over the whole field, so a static calibration
   // would undershoot the intensity badly.
   bench::RateCache rates(scenario);
-  const double rate = rates.rate_for(config.get_double("load"));
+  const double rate = rates.rate_for(flags.get_double("load"));
 
   std::vector<detect::MultiDetectionConfig> points;
   for (double pm : pms) {
@@ -63,12 +63,12 @@ int main(int argc, char** argv) {
     cfg.rate_pps = rate;
     cfg.pm = pm;
     cfg.mobile_handoff = true;
-    cfg.share_hub = bench::share_hub_from(config);
+    cfg.share_hub = flags.share_hub();
     for (double ss : sample_sizes) {
       detect::MonitorConfig m;
       m.sample_size = static_cast<std::size_t>(ss);
-      m.alpha = config.get_double("alpha");
-      m.margin_fraction = config.get_double("margin");
+      m.alpha = flags.get_double("alpha");
+      m.margin_fraction = flags.get_double("margin");
       m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;
       m.fixed_contenders = 20.0;
       cfg.monitors.push_back(m);
@@ -102,12 +102,12 @@ int main(int argc, char** argv) {
       const auto& r = result.per_config[si];
       exp::Record rec;
       rec.add("bench", "fig5d_detection_mobile")
-          .add("load", config.get_double("load"))
+          .add("load", flags.get_double("load"))
           .add("pm", pms[pi])
           .add("sample_size", sample_sizes[si])
           .add("rate_pps", rate)
           .add("runs", runs)
-          .add("sim_time_s", config.get_double("sim_time"))
+          .add("sim_time_s", flags.get_double("sim_time"))
           .add("windows", r.windows)
           .add("flagged", r.flagged)
           .add("flagged_statistical", r.flagged_statistical)

@@ -17,28 +17,27 @@
 using namespace manet;
 
 int main(int argc, char** argv) {
-  util::Config config;
-  config.declare("loads", "0.3,0.6,0.9", "target traffic intensities");
-  config.declare("sample_sizes", "10,25,50,100", "Wilcoxon window sizes");
-  config.declare("sim_time", "300", "simulated seconds per run");
-  config.declare("runs", "4", "independent runs per load (consecutive seeds)");
-  config.declare("seed", "301", "base random seed");
-  config.declare("alpha", "0.01", "significance level");
-  config.declare("margin", "0.10", "permissible deficit fraction");
-  config.declare("attackers", "",
-                 "extra honest-phase rows: run the identity machinery of "
+  bench::FlagSet flags(
+      "Figure 6(a): probability of misdiagnosis vs sample "
+                       "size, static grid.");
+  flags.add_double_list("loads", "0.3,0.6,0.9", "target traffic intensities");
+  flags.add_double_list("sample_sizes", "10,25,50,100", "Wilcoxon window sizes");
+  flags.add_double("sim_time", 300, "simulated seconds per run");
+  flags.add_int("runs", 4, "independent runs per load (consecutive seeds)");
+  flags.add_int("seed", 301, "base random seed");
+  flags.add_double("alpha", 0.01, "significance level");
+  flags.add_double("margin", 0.10, "permissible deficit fraction");
+  flags.add_name_list("attackers", "", "extra honest-phase rows: run the identity machinery of "
                  "colluding/adaptive/sybil attackers with the timing cheat "
                  "disabled, so every flag is still a false alarm (empty "
                  "keeps the paper rows byte-identical)");
-  bench::declare_engine_flags(config);
-  bench::declare_monitor_impl_flag(config);
-  bench::parse_or_exit(argc, argv, config,
-                       "Figure 6(a): probability of misdiagnosis vs sample "
-                       "size, static grid.");
+  flags.add_engine_flags();
+  flags.add_monitor_impl_flag();
+  flags.parse_or_exit(argc, argv);
 
-  const auto loads = bench::get_double_list(config, "loads");
-  const auto sample_sizes = bench::get_double_list(config, "sample_sizes");
-  const int runs = static_cast<int>(config.get_int("runs"));
+  const auto loads = flags.get_double_list("loads");
+  const auto sample_sizes = flags.get_double_list("sample_sizes");
+  const int runs = static_cast<int>(flags.get_int("runs"));
 
   bench::print_header(
       "Figure 6(a): probability of misdiagnosis, static grid",
@@ -46,11 +45,11 @@ int main(int argc, char** argv) {
       "at lower loads");
 
   net::ScenarioConfig scenario;
-  scenario.sim_seconds = config.get_double("sim_time");
-  scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+  scenario.sim_seconds = flags.get_double("sim_time");
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
-  exp::Engine engine = bench::make_engine(config);
-  const auto sink = bench::make_sink(config);
+  exp::Engine engine = flags.make_engine();
+  const auto sink = flags.make_sink();
   bench::RateCache rates(scenario);
   const std::vector<double> load_rates =
       engine.map(loads.size(), [&](std::size_t i) { return rates.rate_for(loads[i]); });
@@ -61,12 +60,12 @@ int main(int argc, char** argv) {
     cfg.scenario = scenario;
     cfg.rate_pps = load_rates[li];
     cfg.pm = 0.0;  // everyone is honest
-    cfg.share_hub = bench::share_hub_from(config);
+    cfg.share_hub = flags.share_hub();
     for (double ss : sample_sizes) {
       detect::MonitorConfig m;
       m.sample_size = static_cast<std::size_t>(ss);
-      m.alpha = config.get_double("alpha");
-      m.margin_fraction = config.get_double("margin");
+      m.alpha = flags.get_double("alpha");
+      m.margin_fraction = flags.get_double("margin");
       m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;
       m.fixed_contenders = 20.0;
       cfg.monitors.push_back(m);
@@ -101,7 +100,7 @@ int main(int argc, char** argv) {
           .add("sample_size", sample_sizes[i])
           .add("rate_pps", load_rates[li])
           .add("runs", runs)
-          .add("sim_time_s", config.get_double("sim_time"))
+          .add("sim_time_s", flags.get_double("sim_time"))
           .add("windows", r.windows)
           .add("flagged", r.flagged)
           .add("misdiagnosis_rate", r.detection_rate)
@@ -119,10 +118,10 @@ int main(int argc, char** argv) {
   // charged to the machinery itself (e.g. per-alias window accounting).
   // Timing attackers (pm<percent>, rts_flood) have no honest phase and are
   // rejected.
-  const auto attacker_names = bench::get_name_list(config, "attackers");
+  const auto attacker_names = flags.get_name_list("attackers");
   double extra_wall = 0.0;
   if (!attacker_names.empty()) {
-    const double sim_time = config.get_double("sim_time");
+    const double sim_time = flags.get_double("sim_time");
     detect::AttackerTuning tuning;
     tuning.pm = 0.0;
     tuning.probation_s = sim_time + 1.0;
@@ -149,12 +148,12 @@ int main(int argc, char** argv) {
         cfg.scenario = scenario;
         cfg.rate_pps = load_rates[li];
         cfg.attacker = spec;
-        cfg.share_hub = bench::share_hub_from(config);
+        cfg.share_hub = flags.share_hub();
         for (double ss : sample_sizes) {
           detect::MonitorConfig m;
           m.sample_size = static_cast<std::size_t>(ss);
-          m.alpha = config.get_double("alpha");
-          m.margin_fraction = config.get_double("margin");
+          m.alpha = flags.get_double("alpha");
+          m.margin_fraction = flags.get_double("margin");
           m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;
           m.fixed_contenders = 20.0;
           m.rts_gap_bound = true;

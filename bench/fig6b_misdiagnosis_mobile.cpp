@@ -12,24 +12,24 @@
 using namespace manet;
 
 int main(int argc, char** argv) {
-  util::Config config;
-  config.declare("load", "0.6", "target traffic intensity");
-  config.declare("sample_sizes", "10,25,50,100", "Wilcoxon window sizes");
-  config.declare("sim_time", "300", "simulated seconds per run");
-  config.declare("runs", "3", "independent runs (consecutive seeds)");
-  config.declare("seed", "401", "base random seed");
-  config.declare("alpha", "0.01", "significance level");
-  config.declare("margin", "0.10", "permissible deficit fraction");
-  config.declare("max_speed", "20", "random waypoint max speed (m/s)");
-  config.declare("pause", "0", "random waypoint pause time (s)");
-  bench::declare_engine_flags(config);
-  bench::declare_monitor_impl_flag(config);
-  bench::parse_or_exit(argc, argv, config,
-                       "Figure 6(b): probability of misdiagnosis with "
+  bench::FlagSet flags(
+      "Figure 6(b): probability of misdiagnosis with "
                        "mobility, load 0.6.");
+  flags.add_double("load", 0.6, "target traffic intensity");
+  flags.add_double_list("sample_sizes", "10,25,50,100", "Wilcoxon window sizes");
+  flags.add_double("sim_time", 300, "simulated seconds per run");
+  flags.add_int("runs", 3, "independent runs (consecutive seeds)");
+  flags.add_int("seed", 401, "base random seed");
+  flags.add_double("alpha", 0.01, "significance level");
+  flags.add_double("margin", 0.10, "permissible deficit fraction");
+  flags.add_double("max_speed", 20, "random waypoint max speed (m/s)");
+  flags.add_double("pause", 0, "random waypoint pause time (s)");
+  flags.add_engine_flags();
+  flags.add_monitor_impl_flag();
+  flags.parse_or_exit(argc, argv);
 
-  const auto sample_sizes = bench::get_double_list(config, "sample_sizes");
-  const int runs = static_cast<int>(config.get_int("runs"));
+  const auto sample_sizes = flags.get_double_list("sample_sizes");
+  const int runs = static_cast<int>(flags.get_int("runs"));
 
   bench::print_header(
       "Figure 6(b): probability of misdiagnosis with mobility (load 0.6)",
@@ -37,27 +37,27 @@ int main(int argc, char** argv) {
 
   net::ScenarioConfig scenario;
   scenario.mobility = net::MobilityKind::kRandomWaypoint;
-  scenario.max_speed_mps = config.get_double("max_speed");
-  scenario.pause_s = config.get_double("pause");
-  scenario.sim_seconds = config.get_double("sim_time");
-  scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+  scenario.max_speed_mps = flags.get_double("max_speed");
+  scenario.pause_s = flags.get_double("pause");
+  scenario.sim_seconds = flags.get_double("sim_time");
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
-  exp::Engine engine = bench::make_engine(config);
-  const auto sink = bench::make_sink(config);
+  exp::Engine engine = flags.make_engine();
+  const auto sink = flags.make_sink();
   bench::RateCache rates(scenario);
-  const double rate = rates.rate_for(config.get_double("load"));
+  const double rate = rates.rate_for(flags.get_double("load"));
 
   detect::MultiDetectionConfig cfg;
   cfg.scenario = scenario;
   cfg.rate_pps = rate;
   cfg.pm = 0.0;
   cfg.mobile_handoff = true;
-  cfg.share_hub = bench::share_hub_from(config);
+  cfg.share_hub = flags.share_hub();
   for (double ss : sample_sizes) {
     detect::MonitorConfig m;
     m.sample_size = static_cast<std::size_t>(ss);
-    m.alpha = config.get_double("alpha");
-    m.margin_fraction = config.get_double("margin");
+    m.alpha = flags.get_double("alpha");
+    m.margin_fraction = flags.get_double("margin");
     m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;
     m.fixed_contenders = 20.0;
     cfg.monitors.push_back(m);
@@ -78,11 +78,11 @@ int main(int argc, char** argv) {
 
     exp::Record rec;
     rec.add("bench", "fig6b_misdiagnosis_mobile")
-        .add("load", config.get_double("load"))
+        .add("load", flags.get_double("load"))
         .add("sample_size", sample_sizes[i])
         .add("rate_pps", rate)
         .add("runs", runs)
-        .add("sim_time_s", config.get_double("sim_time"))
+        .add("sim_time_s", flags.get_double("sim_time"))
         .add("windows", r.windows)
         .add("flagged", r.flagged)
         .add("misdiagnosis_rate", r.detection_rate)

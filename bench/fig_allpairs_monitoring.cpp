@@ -24,30 +24,29 @@
 using namespace manet;
 
 int main(int argc, char** argv) {
-  util::Config config;
-  config.declare("loads", "0.6", "target traffic intensities");
-  config.declare("pms", "0,50", "percentages of misbehavior swept");
-  config.declare("sample_sizes", "10,25,50,100", "Wilcoxon window sizes");
-  config.declare("margins", "0.05,0.10,0.15",
-                 "permissible deficit fractions (configs = sizes x margins)");
-  config.declare("grid_rows", "3", "grid rows (3x3 = one contention domain)");
-  config.declare("grid_cols", "3", "grid columns");
-  config.declare("num_flows", "8", "one-hop flows");
-  config.declare("sim_time", "120", "simulated seconds per (load, PM) point");
-  config.declare("runs", "2", "independent runs per point (consecutive seeds)");
-  config.declare("seed", "501", "base random seed");
-  config.declare("alpha", "0.01", "significance level for rejecting H0");
-  bench::declare_engine_flags(config);
-  bench::declare_monitor_impl_flag(config);
-  bench::parse_or_exit(argc, argv, config,
-                       "All-pairs monitoring: every in-range neighbor of the "
+  bench::FlagSet flags(
+      "All-pairs monitoring: every in-range neighbor of the "
                        "tagged node runs the full monitor set, static grid.");
+  flags.add_double_list("loads", "0.6", "target traffic intensities");
+  flags.add_double_list("pms", "0,50", "percentages of misbehavior swept");
+  flags.add_double_list("sample_sizes", "10,25,50,100", "Wilcoxon window sizes");
+  flags.add_double_list("margins", "0.05,0.10,0.15", "permissible deficit fractions (configs = sizes x margins)");
+  flags.add_int("grid_rows", 3, "grid rows (3x3 = one contention domain)");
+  flags.add_int("grid_cols", 3, "grid columns");
+  flags.add_int("num_flows", 8, "one-hop flows");
+  flags.add_double("sim_time", 120, "simulated seconds per (load, PM) point");
+  flags.add_int("runs", 2, "independent runs per point (consecutive seeds)");
+  flags.add_int("seed", 501, "base random seed");
+  flags.add_double("alpha", 0.01, "significance level for rejecting H0");
+  flags.add_engine_flags();
+  flags.add_monitor_impl_flag();
+  flags.parse_or_exit(argc, argv);
 
-  const auto loads = bench::get_double_list(config, "loads");
-  const auto pms = bench::get_double_list(config, "pms");
-  const auto sample_sizes = bench::get_double_list(config, "sample_sizes");
-  const auto margins = bench::get_double_list(config, "margins");
-  const int runs = static_cast<int>(config.get_int("runs"));
+  const auto loads = flags.get_double_list("loads");
+  const auto pms = flags.get_double_list("pms");
+  const auto sample_sizes = flags.get_double_list("sample_sizes");
+  const auto margins = flags.get_double_list("margins");
+  const int runs = static_cast<int>(flags.get_int("runs"));
 
   bench::print_header(
       "All-pairs monitoring workload (dense static grid)",
@@ -56,14 +55,14 @@ int main(int argc, char** argv) {
       "insensitive");
 
   net::ScenarioConfig scenario;  // Table-1 spacing/ranges, smaller grid
-  scenario.grid_rows = static_cast<std::size_t>(config.get_int("grid_rows"));
-  scenario.grid_cols = static_cast<std::size_t>(config.get_int("grid_cols"));
-  scenario.num_flows = static_cast<std::size_t>(config.get_int("num_flows"));
-  scenario.sim_seconds = config.get_double("sim_time");
-  scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+  scenario.grid_rows = static_cast<std::size_t>(flags.get_int("grid_rows"));
+  scenario.grid_cols = static_cast<std::size_t>(flags.get_int("grid_cols"));
+  scenario.num_flows = static_cast<std::size_t>(flags.get_int("num_flows"));
+  scenario.sim_seconds = flags.get_double("sim_time");
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
-  exp::Engine engine = bench::make_engine(config);
-  const auto sink = bench::make_sink(config);
+  exp::Engine engine = flags.make_engine();
+  const auto sink = flags.make_sink();
   bench::RateCache rates(scenario);
 
   const std::vector<double> load_rates =
@@ -77,12 +76,12 @@ int main(int argc, char** argv) {
       cfg.rate_pps = load_rates[li];
       cfg.pm = pm;
       cfg.all_pairs = true;
-      cfg.share_hub = bench::share_hub_from(config);
+      cfg.share_hub = flags.share_hub();
       for (double margin : margins) {
         for (double ss : sample_sizes) {
           detect::MonitorConfig m;
           m.sample_size = static_cast<std::size_t>(ss);
-          m.alpha = config.get_double("alpha");
+          m.alpha = flags.get_double("alpha");
           m.margin_fraction = margin;
           m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;  // grid, Section 5
           m.fixed_contenders = 20.0;
@@ -134,7 +133,7 @@ int main(int argc, char** argv) {
               .add("margin", margins[mi])
               .add("rate_pps", load_rates[li])
               .add("runs", runs)
-              .add("sim_time_s", config.get_double("sim_time"))
+              .add("sim_time_s", flags.get_double("sim_time"))
               .add("monitor_nodes", result.monitor_nodes)
               .add("monitors", result.monitor_nodes * margins.size() *
                                    sample_sizes.size())

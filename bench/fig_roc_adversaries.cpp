@@ -25,60 +25,69 @@
 
 #include "bench_common.hpp"
 #include "detect/roc.hpp"
+#include "detect/sequential.hpp"
 
 using namespace manet;
 
 int main(int argc, char** argv) {
-  util::Config config;
-  config.declare("attackers", "pm50,pm90,colluding,adaptive,sybil,rts_flood",
-                 "attacker classes scored (honest, pm<percent>, colluding, "
-                 "adaptive, sybil, rts_flood)");
-  config.declare("thresholds", "0.0005,0.001,0.005,0.01,0.05,0.1,0.2",
-                 "detection thresholds (p-value cutoffs) swept for the ROC; "
-                 "0.0005 sits below the ss=10 Wilcoxon floor of 1/2^10");
-  config.declare("load", "0.6", "target traffic intensity");
-  config.declare("sample_sizes", "10", "Wilcoxon window sizes");
-  config.declare("pm", "80", "cheat strength for colluding/adaptive/sybil");
-  config.declare("group", "3", "colluding group size / sybil identity count");
-  config.declare("collude_phase", "2.0",
-                 "seconds of one colluder's aggressive turn");
-  config.declare("probation", "30",
-                 "adaptive: honest until this many simulated seconds");
-  config.declare("vigilance", "0",
-                 "adaptive: lie low this long after overhearing the monitor");
-  config.declare("flood_pps", "1000", "mean bogus-RTS rate of the flooder");
-  config.declare("sim_time", "120", "simulated seconds per trial");
-  config.declare("runs", "4", "independent trials per attacker");
-  config.declare("seed", "601", "base random seed");
-  config.declare("margin", "0.10",
-                 "permissible back-off deficit (fraction of expected mean)");
-  bench::declare_engine_flags(config);
-  bench::declare_monitor_impl_flag(config);
-  bench::parse_or_exit(
-      argc, argv, config,
+  bench::FlagSet flags(
       "Adversary zoo v2: per-attacker ROC curves and time-to-detection.");
+  flags.add_name_list("attackers", "pm50,pm90,colluding,adaptive,sybil,rts_flood", "attacker classes scored (honest, pm<percent>, colluding, "
+                 "adaptive, sybil, rts_flood)");
+  flags.add_double_list("thresholds", "0.0005,0.001,0.005,0.01,0.05,0.1,0.2", "detection thresholds (p-value cutoffs) swept for the ROC; "
+                 "0.0005 sits below the ss=10 Wilcoxon floor of 1/2^10");
+  flags.add_double("load", 0.6, "target traffic intensity");
+  flags.add_double_list("sample_sizes", "10", "Wilcoxon window sizes");
+  flags.add_name_list("detectors", "wilcoxon",
+                      "statistical tests closing the windows (wilcoxon, "
+                      "cusum, sprt); one ROC per detector x sample size — "
+                      "sequential scores sweep as p_less = exp(-score)");
+  flags.add_double("pm", 80, "cheat strength for colluding/adaptive/sybil");
+  flags.add_int("group", 3, "colluding group size / sybil identity count");
+  flags.add_double("collude_phase", 2.0, "seconds of one colluder's aggressive turn");
+  flags.add_double("probation", 30, "adaptive: honest until this many simulated seconds");
+  flags.add_double("vigilance", 0, "adaptive: lie low this long after overhearing the monitor");
+  flags.add_double("flood_pps", 1000, "mean bogus-RTS rate of the flooder");
+  flags.add_double("sim_time", 120, "simulated seconds per trial");
+  flags.add_int("runs", 4, "independent trials per attacker");
+  flags.add_int("seed", 601, "base random seed");
+  flags.add_double("margin", 0.10, "permissible back-off deficit (fraction of expected mean)");
+  flags.add_engine_flags();
+  flags.add_monitor_impl_flag();
+  flags.parse_or_exit(argc, argv);
 
-  const auto attacker_names = bench::get_name_list(config, "attackers");
-  const auto thresholds = bench::get_double_list(config, "thresholds");
-  const auto sample_sizes = bench::get_double_list(config, "sample_sizes");
-  const int runs = static_cast<int>(bench::get_int_flag(config, "runs"));
-  const double sim_time = bench::get_double_flag(config, "sim_time");
-  const double load = bench::get_double_flag(config, "load");
+  const auto attacker_names = flags.get_name_list("attackers");
+  const auto thresholds = flags.get_double_list("thresholds");
+  const auto sample_sizes = flags.get_double_list("sample_sizes");
+  const auto detector_names = flags.get_name_list("detectors");
+  const int runs = static_cast<int>(flags.get_int("runs"));
+  const double sim_time = flags.get_double("sim_time");
+  const double load = flags.get_double("load");
   if (attacker_names.empty() || thresholds.empty() || sample_sizes.empty() ||
-      runs <= 0) {
+      detector_names.empty() || runs <= 0) {
     std::fprintf(stderr,
-                 "flag error: need >= 1 attacker, threshold, sample size and run\n");
+                 "flag error: need >= 1 attacker, threshold, detector, "
+                 "sample size and run\n");
     return 1;
+  }
+  std::vector<detect::DetectorKind> detectors;
+  for (const std::string& name : detector_names) {
+    try {
+      detectors.push_back(detect::detector_from_name(name));
+    } catch (const util::ConfigError& e) {
+      std::fprintf(stderr, "flag error: --detectors: %s\n", e.what());
+      return 1;
+    }
   }
 
   detect::AttackerTuning tuning;
-  tuning.pm = bench::get_double_flag(config, "pm");
+  tuning.pm = flags.get_double("pm");
   tuning.group =
-      static_cast<std::uint32_t>(bench::get_int_flag(config, "group"));
-  tuning.collude_phase_s = bench::get_double_flag(config, "collude_phase");
-  tuning.probation_s = bench::get_double_flag(config, "probation");
-  tuning.vigilance_s = bench::get_double_flag(config, "vigilance");
-  tuning.flood_pps = bench::get_double_flag(config, "flood_pps");
+      static_cast<std::uint32_t>(flags.get_int("group"));
+  tuning.collude_phase_s = flags.get_double("collude_phase");
+  tuning.probation_s = flags.get_double("probation");
+  tuning.vigilance_s = flags.get_double("vigilance");
+  tuning.flood_pps = flags.get_double("flood_pps");
 
   // Resolve every attacker name up front: a typo dies before any sim runs.
   std::vector<detect::AttackerSpec> specs;
@@ -98,10 +107,10 @@ int main(int argc, char** argv) {
 
   net::ScenarioConfig scenario;  // Table-1 grid defaults
   scenario.sim_seconds = sim_time;
-  scenario.seed = static_cast<std::uint64_t>(bench::get_int_flag(config, "seed"));
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
-  exp::Engine engine = bench::make_engine(config);
-  const auto sink = bench::make_sink(config);
+  exp::Engine engine = flags.make_engine();
+  const auto sink = flags.make_sink();
   bench::RateCache rates(scenario);
   const double rate_pps = rates.rate_for(load);
 
@@ -110,16 +119,21 @@ int main(int argc, char** argv) {
     cfg.scenario = scenario;
     cfg.rate_pps = rate_pps;
     cfg.attacker = spec;
-    cfg.share_hub = bench::share_hub_from(config);
+    cfg.share_hub = flags.share_hub();
     cfg.collect_windows = true;
-    for (double ss : sample_sizes) {
-      detect::MonitorConfig m;
-      m.sample_size = static_cast<std::size_t>(ss);
-      m.margin_fraction = bench::get_double_flag(config, "margin");
-      m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;  // grid, Section 5
-      m.fixed_contenders = 20.0;
-      m.rts_gap_bound = gap_bound;
-      cfg.monitors.push_back(m);
+    // Config index (di * |sample_sizes| + si): detector-major, matching
+    // the scoring loops below.
+    for (detect::DetectorKind kind : detectors) {
+      for (double ss : sample_sizes) {
+        detect::MonitorConfig m;
+        m.sample_size = static_cast<std::size_t>(ss);
+        m.margin_fraction = flags.get_double("margin");
+        m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;  // grid, Section 5
+        m.fixed_contenders = 20.0;
+        m.rts_gap_bound = gap_bound;
+        m.detector = kind;
+        cfg.monitors.push_back(m);
+      }
     }
     return cfg;
   };
@@ -147,12 +161,16 @@ int main(int argc, char** argv) {
   for (std::size_t ai = 0; ai < specs.size(); ++ai) {
     const auto& attack = results[ai + 2];
     const auto& honest = uses_gap_bound(specs[ai]) ? results[1] : results[0];
+    for (std::size_t di = 0; di < detectors.size(); ++di) {
+    const char* detector = detect::detector_name(detectors[di]);
     for (std::size_t si = 0; si < sample_sizes.size(); ++si) {
+      const std::size_t ci = di * sample_sizes.size() + si;
       const detect::RocCurve curve = detect::score_roc_curve(
-          attack.per_config[si], honest.per_config[si], thresholds, warmup_s);
+          attack.per_config[ci], honest.per_config[ci], thresholds, warmup_s);
 
-      std::printf("\n## %s (ss=%.0f): AUC = %.4f\n", attacker_names[ai].c_str(),
-                  sample_sizes[si], curve.auc);
+      std::printf("\n## %s (ss=%.0f, %s): AUC = %.4f\n",
+                  attacker_names[ai].c_str(), sample_sizes[si], detector,
+                  curve.auc);
       std::printf("  %-10s  %-9s  %-9s  %-14s  %s\n", "threshold", "det-rate",
                   "fa-rate", "detected", "median-ttd-s");
       for (const auto& p : curve.points) {
@@ -168,6 +186,7 @@ int main(int argc, char** argv) {
         exp::Record rec;
         rec.add("bench", "fig_roc_adversaries")
             .add("attacker", attacker_names[ai])
+            .add("detector", detector)
             .add("sample_size", sample_sizes[si])
             .add("threshold", p.threshold)
             .add("load", load)
@@ -203,6 +222,7 @@ int main(int argc, char** argv) {
       exp::Record summary;
       summary.add("bench", "fig_roc_adversaries_summary")
           .add("attacker", attacker_names[ai])
+          .add("detector", detector)
           .add("sample_size", sample_sizes[si])
           .add("load", load)
           .add("runs", runs)
@@ -213,9 +233,10 @@ int main(int argc, char** argv) {
           .add("ref_false_alarm_rate", rp.false_alarm_rate)
           .add("ref_detected_trials", rp.detected_trials)
           .add("ref_median_ttd_s", rp.median_ttd_s)
-          .add("first_flag_windows", attack.per_config[si].stats.windows_to_first_flag)
+          .add("first_flag_windows", attack.per_config[ci].stats.windows_to_first_flag)
           .add("threads", engine.threads());
       sink->record(summary);
+    }
     }
   }
   sink->flush();

@@ -1,0 +1,149 @@
+// Microbenchmarks of the streaming detection path (detect/trace.hpp,
+// detect/replay.hpp): how fast a recorded observation trace moves through
+// the wire format and through the full offline detection pipeline.
+//
+//  * BM_TraceDecode      — parse + CRC-check a serialized .mtrace image
+//                          into ObservationEvents (MemoryTraceReader).
+//  * BM_TraceSerialize   — the writer side: frame, block, and checksum a
+//                          recorded event stream back into wire bytes.
+//  * BM_ReplayIngest/... — reconstruct the monitor world and pump every
+//                          event through ObservationHub::consume with the
+//                          given detector closing the windows. This is the
+//                          number the streaming redesign is judged by:
+//                          frames_per_s must clear 1M/s (items are decoded
+//                          frames, the unit detection latency is quoted in;
+//                          events_per_s counts carrier edges too).
+//
+// The workload trace is recorded once per process from a fig5-style
+// static-grid run (PM 65, saturating rate) — the same shape the
+// live-vs-replay equivalence tests pin down byte-for-byte.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "detect/experiment.hpp"
+#include "detect/replay.hpp"
+#include "detect/sequential.hpp"
+#include "detect/trace.hpp"
+
+namespace {
+
+using namespace manet;
+
+/// Records the workload trace once and caches the wire image.
+const std::vector<std::uint8_t>& workload_trace() {
+  static const std::vector<std::uint8_t> bytes = [] {
+    detect::MultiDetectionConfig cfg;
+    cfg.scenario.grid_rows = 3;
+    cfg.scenario.grid_cols = 3;
+    cfg.scenario.num_flows = 8;
+    cfg.scenario.sim_seconds = 20;
+    cfg.scenario.seed = 1301;
+    cfg.rate_pps = 40.0;
+    cfg.pm = 65.0;
+    detect::MonitorConfig m;
+    m.sample_size = 10;
+    m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;
+    m.fixed_contenders = 20.0;
+    cfg.monitors.push_back(m);
+    detect::TraceRecorder recorder;
+    cfg.trace = &recorder;
+    detect::run_multi_detection_experiment(cfg);
+    return recorder.writers().front()->serialize();
+  }();
+  return bytes;
+}
+
+struct TraceCensus {
+  std::size_t events = 0;
+  std::size_t frames = 0;
+};
+
+TraceCensus census(const detect::MemoryTraceReader& reader) {
+  TraceCensus c;
+  c.events = reader.event_count();
+  for (const auto& ev : reader.events()) {
+    if (ev.kind == detect::ObservationKind::kFrame) ++c.frames;
+  }
+  return c;
+}
+
+void BM_TraceDecode(benchmark::State& state) {
+  const auto& bytes = workload_trace();
+  std::size_t events = 0;
+  for (auto _ : state) {
+    detect::MemoryTraceReader reader(bytes);
+    events = reader.event_count();
+    benchmark::DoNotOptimize(reader.events().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes.size()));
+  state.counters["events"] = static_cast<double>(events);
+}
+
+void BM_TraceSerialize(benchmark::State& state) {
+  const detect::MemoryTraceReader reader(workload_trace());
+  for (auto _ : state) {
+    detect::TraceWriter writer(reader.header());
+    for (const auto& ev : reader.events()) writer.record(ev);
+    const auto bytes = writer.serialize();
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(reader.event_count()));
+}
+
+/// The acceptance benchmark: full offline detection over the trace.
+void run_ingest(benchmark::State& state, detect::DetectorKind kind) {
+  detect::MemoryTraceReader reader(workload_trace());
+  const TraceCensus c = census(reader);
+  detect::MonitorConfig m;
+  m.sample_size = 10;
+  m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;
+  m.fixed_contenders = 20.0;
+  m.detector = kind;
+  const std::vector<detect::MonitorConfig> monitors{m};
+
+  std::uint64_t windows = 0;
+  for (auto _ : state) {
+    detect::ReplaySession session(reader.header(), monitors);
+    reader.rewind();
+    session.run(reader);
+    windows = session.views().front()->stats().windows;
+    benchmark::DoNotOptimize(windows);
+  }
+  // items = decoded frames: "frames per second" is the acceptance metric.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(c.frames));
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * c.events),
+      benchmark::Counter::kIsRate);
+  state.counters["frames"] = static_cast<double>(c.frames);
+  state.counters["windows"] = static_cast<double>(windows);
+}
+
+void BM_ReplayIngestWilcoxon(benchmark::State& state) {
+  run_ingest(state, detect::DetectorKind::kWilcoxon);
+}
+BENCHMARK(BM_ReplayIngestWilcoxon)->Unit(benchmark::kMillisecond);
+
+void BM_ReplayIngestCusum(benchmark::State& state) {
+  run_ingest(state, detect::DetectorKind::kCusum);
+}
+BENCHMARK(BM_ReplayIngestCusum)->Unit(benchmark::kMillisecond);
+
+void BM_ReplayIngestSprt(benchmark::State& state) {
+  run_ingest(state, detect::DetectorKind::kSprt);
+}
+BENCHMARK(BM_ReplayIngestSprt)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_TraceDecode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceSerialize)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

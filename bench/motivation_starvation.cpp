@@ -72,23 +72,23 @@ Throughputs run(double pm, double seconds) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Config config;
-  config.declare("pms", "0,25,50,65,80,90,95,100", "attacker PM values");
-  config.declare("sim_time", "30", "simulated seconds per point");
-  bench::declare_engine_flags(config);
-  bench::parse_or_exit(argc, argv, config,
-                       "Motivation: bandwidth starvation caused by a back-off "
+  bench::FlagSet flags(
+      "Motivation: bandwidth starvation caused by a back-off "
                        "cheater (paper Section 1).");
+  flags.add_double_list("pms", "0,25,50,65,80,90,95,100", "attacker PM values");
+  flags.add_double("sim_time", 30, "simulated seconds per point");
+  flags.add_engine_flags();
+  flags.parse_or_exit(argc, argv);
 
   bench::print_header(
       "Motivation: throughput capture by a back-off cheater",
       "a misbehaving node acquires the channel more often; at high PM the "
       "honest contender is starved (denial of service)");
 
-  const auto pms = bench::get_double_list(config, "pms");
-  const double sim_time = config.get_double("sim_time");
-  exp::Engine engine = bench::make_engine(config);
-  const auto sink = bench::make_sink(config);
+  const auto pms = flags.get_double_list("pms");
+  const double sim_time = flags.get_double("sim_time");
+  exp::Engine engine = flags.make_engine();
+  const auto sink = flags.make_sink();
 
   const std::vector<Throughputs> results = engine.map(
       pms.size(), [&](std::size_t i) { return run(pms[i], sim_time); });

@@ -22,29 +22,25 @@
 using namespace manet;
 
 int main(int argc, char** argv) {
-  util::Config config;
-  config.declare("losses", "0,0.05,0.1,0.2,0.3",
-                 "frame decode-failure probabilities swept");
-  config.declare("pm", "50", "attacker percentage of misbehavior");
-  config.declare("corrupt", "0.02",
-                 "field-corruption probability (applied whenever loss > 0)");
-  config.declare("load", "0.6", "target traffic intensity");
-  config.declare("sample_size", "50", "Wilcoxon window size");
-  config.declare("sim_time", "200", "simulated seconds per point");
-  config.declare("runs", "2", "independent runs per point (consecutive seeds)");
-  config.declare("seed", "401", "base random seed");
-  config.declare("alpha", "0.01", "significance level for rejecting H0");
-  config.declare("margin", "0.10",
-                 "permissible back-off deficit (fraction of expected mean)");
-  bench::declare_engine_flags(config);
-  bench::parse_or_exit(
-      argc, argv, config,
+  bench::FlagSet flags(
       "Robustness: detection / false-alarm rate vs monitor frame loss.");
+  flags.add_double_list("losses", "0,0.05,0.1,0.2,0.3", "frame decode-failure probabilities swept");
+  flags.add_double("pm", 50, "attacker percentage of misbehavior");
+  flags.add_double("corrupt", 0.02, "field-corruption probability (applied whenever loss > 0)");
+  flags.add_double("load", 0.6, "target traffic intensity");
+  flags.add_int("sample_size", 50, "Wilcoxon window size");
+  flags.add_double("sim_time", 200, "simulated seconds per point");
+  flags.add_int("runs", 2, "independent runs per point (consecutive seeds)");
+  flags.add_int("seed", 401, "base random seed");
+  flags.add_double("alpha", 0.01, "significance level for rejecting H0");
+  flags.add_double("margin", 0.10, "permissible back-off deficit (fraction of expected mean)");
+  flags.add_engine_flags();
+  flags.parse_or_exit(argc, argv);
 
-  const auto losses = bench::get_double_list(config, "losses");
-  const double pm = config.get_double("pm");
-  const double corrupt = config.get_double("corrupt");
-  const int runs = static_cast<int>(config.get_int("runs"));
+  const auto losses = flags.get_double_list("losses");
+  const double pm = flags.get_double("pm");
+  const double corrupt = flags.get_double("corrupt");
+  const int runs = static_cast<int>(flags.get_int("runs"));
 
   bench::print_header(
       "Robustness: detection under lossy observation",
@@ -52,13 +48,13 @@ int main(int argc, char** argv) {
       "degrades gracefully (within ~10 points of clean at 10% loss)");
 
   net::ScenarioConfig scenario;  // Table-1 grid defaults
-  scenario.sim_seconds = config.get_double("sim_time");
-  scenario.seed = static_cast<std::uint64_t>(config.get_int("seed"));
+  scenario.sim_seconds = flags.get_double("sim_time");
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
-  exp::Engine engine = bench::make_engine(config);
-  const auto sink = bench::make_sink(config);
+  exp::Engine engine = flags.make_engine();
+  const auto sink = flags.make_sink();
   bench::RateCache rates(scenario);
-  const double rate = rates.rate_for(config.get_double("load"));
+  const double rate = rates.rate_for(flags.get_double("load"));
 
   // Two sweep points per loss value: honest (PM=0) and attacker.
   std::vector<detect::MultiDetectionConfig> points;
@@ -71,9 +67,9 @@ int main(int argc, char** argv) {
     }
     cfg.rate_pps = rate;
     detect::MonitorConfig m;
-    m.sample_size = static_cast<std::size_t>(config.get_int("sample_size"));
-    m.alpha = config.get_double("alpha");
-    m.margin_fraction = config.get_double("margin");
+    m.sample_size = static_cast<std::size_t>(flags.get_int("sample_size"));
+    m.alpha = flags.get_double("alpha");
+    m.margin_fraction = flags.get_double("margin");
     m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;  // grid, Section 5
     m.fixed_contenders = 20.0;
     cfg.monitors = {m};
@@ -115,10 +111,10 @@ int main(int argc, char** argv) {
         .add("loss", losses[i])
         .add("corrupt", losses[i] > 0.0 ? corrupt : 0.0)
         .add("pm", pm)
-        .add("load", config.get_double("load"))
+        .add("load", flags.get_double("load"))
         .add("rate_pps", rate)
         .add("runs", runs)
-        .add("sim_time_s", config.get_double("sim_time"))
+        .add("sim_time_s", flags.get_double("sim_time"))
         .add("honest_windows", honest.windows)
         .add("honest_false_alarm_rate", honest.detection_rate)
         .add("attacker_windows", attacker.windows)

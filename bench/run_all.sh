@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs every figure/ablation bench with its --json sink enabled and merges
-# the per-bench JSON arrays into one BENCH_PR6.json object:
+# the per-bench JSON arrays into one BENCH_PR7.json object:
 #
 #   { "fig3_cond_prob_grid": [ {...}, ... ], "fig5_detection_static": [...] }
 #
@@ -20,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 build_dir=${1:-build-bench}
-out_json=${2:-BENCH_PR6.json}
+out_json=${2:-BENCH_PR7.json}
 threads=${THREADS:-0}
 
 if [[ ! -d "$build_dir/bench" ]]; then
@@ -58,6 +58,7 @@ default_benches=(
 default_micro_benches=(
   micro_wilcoxon
   micro_monitor
+  micro_ingest
 )
 read -r -a micro_benches <<< "${MICRO_BENCHES:-${default_micro_benches[*]}}"
 read -r -a benches <<< "${BENCHES:-${default_benches[*]}}"

@@ -30,11 +30,10 @@ std::string fmt(double v) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Config config;
-  net::ScenarioConfig::declare(config);
-  bench::parse_or_exit(argc, argv, config,
-                       "Reproduces Table 1 (simulation parameters).");
-  const net::ScenarioConfig s = net::ScenarioConfig::from_config(config);
+  bench::FlagSet flags("Reproduces Table 1 (simulation parameters).");
+  net::ScenarioConfig::declare(flags.config());
+  flags.parse_or_exit(argc, argv);
+  const net::ScenarioConfig s = net::ScenarioConfig::from_config(flags.config());
 
   bench::print_header("Table 1: Parameters used in simulations",
                       "defaults reproduce the paper's setup exactly");

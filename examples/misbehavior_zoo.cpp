@@ -98,10 +98,11 @@ void run(const ZooEntry& entry) {
   mc.sample_size = 10;
   mc.separation_m = 200;
   mc.rts_gap_bound = ctx.gap_bound;
+  detect::MonitorFactory factory(sim, *macs[r], *timelines[r]);
+  factory.with_config(mc);
   std::vector<std::unique_ptr<detect::Monitor>> monitors;
   for (NodeId target : ctx.targets) {
-    monitors.push_back(
-        std::make_unique<detect::Monitor>(sim, *macs[r], *timelines[r], target, mc));
+    monitors.push_back(factory.watch(target));
   }
 
   // Keep S saturated and C moderately loaded (a saturated hidden terminal

@@ -44,14 +44,16 @@ void run_pair(double pm) {
   // SeqOff#/Attempt# fields and tests the observed countdowns.
   detect::MonitorConfig mc;
   mc.sample_size = 10;
-  detect::Monitor monitor(net.simulator(), net.mac(r), net.timeline(r), s, mc);
+  const auto monitor =
+      detect::MonitorFactory(net.simulator(), net.mac(r), net.timeline(r))
+          .watch(s, mc);
 
   const SimTime stop = seconds_to_time(scenario.sim_seconds);
   net.start_traffic(0, stop);
   net.run_until(stop);
 
   std::printf("--- PM = %.0f%% ---\n%s\n", pm,
-              detect::render_report(monitor).c_str());
+              detect::render_report(*monitor).c_str());
 }
 
 }  // namespace

@@ -96,4 +96,34 @@ diff <(strip_timing "$smoke_dir/roc_t1.json") \
     --benchmark_min_time=0 \
     --benchmark_filter='BM_WilcoxonExact/10|BM_WilcoxonApprox/50' >/dev/null
 
+echo "== trace record/replay equivalence (ASan + UBSan) =="
+# The streaming detection path: record a live run (static + mobile-handoff,
+# all three detectors) to binary .mtrace files, replay them through the
+# identical detection code, and require the canonical results text to be
+# byte-identical. A drift in the wire format, the replay world
+# reconstruction, or the detectors themselves shows up as a diff here.
+tr_flags=(--sim_time=20 --sample_sizes=10,25 --detectors=wilcoxon,cusum,sprt)
+./build-asan/tools/trace_replay --mode=record "${tr_flags[@]}" \
+    --dir="$smoke_dir/traces_static" --results="$smoke_dir/live_static.txt" \
+    2>/dev/null
+./build-asan/tools/trace_replay --mode=replay "${tr_flags[@]}" \
+    --dir="$smoke_dir/traces_static" --results="$smoke_dir/replay_static.txt"
+diff "$smoke_dir/live_static.txt" "$smoke_dir/replay_static.txt" \
+  || { echo "static replay differs from the live run"; exit 1; }
+./build-asan/tools/trace_replay --mode=record "${tr_flags[@]}" --mobile=1 \
+    --pm=0 \
+    --dir="$smoke_dir/traces_mobile" --results="$smoke_dir/live_mobile.txt" \
+    2>/dev/null
+./build-asan/tools/trace_replay --mode=replay "${tr_flags[@]}" \
+    --dir="$smoke_dir/traces_mobile" --results="$smoke_dir/replay_mobile.txt"
+diff "$smoke_dir/live_mobile.txt" "$smoke_dir/replay_mobile.txt" \
+  || { echo "mobile-handoff replay differs from the live run"; exit 1; }
+
+# Fixed-iteration pass over the trace codec and replay ingest loop (CRC
+# framing, event decode, hub consume) under the sanitizers.
+./build-asan/bench/micro_ingest \
+    --benchmark_min_time=0 \
+    --benchmark_filter='BM_TraceDecode|BM_ReplayIngestWilcoxon|BM_ReplayIngestCusum' \
+    >/dev/null
+
 echo "All checks passed."

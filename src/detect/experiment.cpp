@@ -5,6 +5,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "detect/trace.hpp"
 #include "exp/seeding.hpp"
 #include "exp/sweep.hpp"
 #include "mac/attackers.hpp"
@@ -30,28 +31,6 @@ NodeId pick_neighbor(net::Network& net, NodeId s, SimTime at) {
     }
   }
   return best;
-}
-
-void accumulate(MonitorStats& into, const MonitorStats& from) {
-  into.rts_observed += from.rts_observed;
-  into.samples += from.samples;
-  into.windows += from.windows;
-  into.flagged_windows += from.flagged_windows;
-  into.seq_off_violations += from.seq_off_violations;
-  into.attempt_violations += from.attempt_violations;
-  into.impossible_backoff += from.impossible_backoff;
-  into.skipped_no_anchor += from.skipped_no_anchor;
-  into.skipped_long_window += from.skipped_long_window;
-  into.skipped_queue_gap += from.skipped_queue_gap;
-  into.seq_off_resyncs += from.seq_off_resyncs;
-  into.frames_lost += from.frames_lost;
-  into.windows_discarded_impaired += from.windows_discarded_impaired;
-  // First flag across monitors/trials: earliest wins, and its window
-  // ordinal travels with it (mixing ordinals across sources is meaningless).
-  if (from.first_flag_time < into.first_flag_time) {
-    into.first_flag_time = from.first_flag_time;
-    into.windows_to_first_flag = from.windows_to_first_flag;
-  }
 }
 
 double elapsed_seconds(std::chrono::steady_clock::time_point start) {
@@ -94,7 +73,7 @@ MultiDetectionResult aggregate_trials(std::size_t monitor_count,
                             r.per_config[i].window_log.begin(),
                             r.per_config[i].window_log.end());
       if (collect_windows) out.trial_logs.push_back(r.per_config[i].window_log);
-      accumulate(out.stats, r.per_config[i].stats);
+      accumulate_stats(out.stats, r.per_config[i].stats);
     }
   }
   if (!trials.empty()) total.measured_rho /= static_cast<double>(trials.size());
@@ -272,23 +251,41 @@ MultiDetectionResult run_multi_detection_experiment(const MultiDetectionConfig& 
       if (config.share_hub) {
         set.hub = std::make_unique<ObservationHub>(
             net.simulator(), net.mac(node), net.timeline(node));
-        for (const MonitorConfig& mc : config.monitors) {
-          for (const NodeId target : targets) {
-            set.views.push_back(std::make_unique<Monitor>(*set.hub, target, mc));
-          }
-        }
-      } else {
-        for (const MonitorConfig& mc : config.monitors) {
-          for (const NodeId target : targets) {
-            set.views.push_back(std::make_unique<Monitor>(
-                net.simulator(), net.mac(node), net.timeline(node), target, mc));
-          }
+      }
+      MonitorFactory factory =
+          config.share_hub
+              ? MonitorFactory(*set.hub)
+              : MonitorFactory(net.simulator(), net.mac(node), net.timeline(node));
+      for (const MonitorConfig& mc : config.monitors) {
+        factory.with_config(mc);
+        for (const NodeId target : targets) {
+          set.views.push_back(factory.watch(target));
         }
       }
       it = monitors.emplace(node, std::move(set)).first;
       monitor_order.push_back(node);
+      if (config.trace) {
+        // Recording starts the instant this node becomes a monitor: the
+        // header snapshots its carrier-sense state now, and the writer is
+        // registered after the node's timeline (radio listener order) and
+        // after the hub (MAC observer order), so replayed event order
+        // matches what the hub experienced.
+        TraceHeader th;
+        th.node = node;
+        th.start_time = net.simulator().now();
+        th.params = net.mac(node).params();
+        th.targets = targets;
+        th.timeline = net.timeline(node).snapshot();
+        TraceWriter& writer = config.trace->add(th);
+        net.mac(node).add_observer(&writer);
+        net.radio(node).add_listener(&writer);
+      }
     }
     for (auto& mon : it->second.views) mon->set_active(active);
+    if (config.trace) {
+      config.trace->find(node)->marker(MarkerCode::kActivity, active ? 1 : 0,
+                                       net.simulator().now());
+    }
   };
 
   MultiDetectionResult result;
@@ -359,6 +356,12 @@ MultiDetectionResult run_multi_detection_experiment(const MultiDetectionConfig& 
 
   net.run_until(stop);
 
+  if (config.trace) {
+    for (const NodeId node : monitor_order) {
+      config.trace->find(node)->marker(MarkerCode::kTraceEnd, 0, stop);
+    }
+  }
+
   result.monitor_nodes = monitor_order.size();
   const std::size_t target_count = targets.size();
   for (const NodeId node : monitor_order) {
@@ -374,7 +377,7 @@ MultiDetectionResult run_multi_detection_experiment(const MultiDetectionConfig& 
           if (w.statistical_flag) ++out.flagged_statistical;
           if (config.collect_windows) out.window_log.push_back(w);
         }
-        accumulate(out.stats, view.stats());
+        accumulate_stats(out.stats, view.stats());
       }
     }
   }

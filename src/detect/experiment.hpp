@@ -23,6 +23,8 @@
 
 namespace manet::detect {
 
+class TraceRecorder;  // detect/trace.hpp
+
 // --- Conditional probabilities (Figures 3-4) --------------------------------
 
 struct CondProbConfig {
@@ -162,6 +164,15 @@ struct MultiDetectionConfig {
   /// Fill DetectionResult::window_log (off by default: sweeps only need
   /// the aggregate counters).
   bool collect_windows = false;
+  /// When set, every monitoring node's observation stream is recorded
+  /// into this recorder (detect/trace.hpp): one TraceWriter per node in
+  /// monitor-creation order, with kActivity markers at each handoff
+  /// suspend/resume and a kTraceEnd marker at the stop time. Single-run
+  /// use (run_multi_detection_experiment, not the trials/sweep entry
+  /// points); the recorder must outlive the call. replay_detection() over
+  /// the recorded traces reproduces this run's per-config results
+  /// byte-for-byte (detect/replay.hpp).
+  TraceRecorder* trace = nullptr;
 };
 
 struct MultiDetectionResult {

@@ -10,16 +10,16 @@ namespace manet::detect {
 Monitor::Monitor(ObservationHub& hub, NodeId tagged, const MonitorConfig& config)
     : hub_(hub),
       sim_(hub.simulator()),
-      mac_(hub.mac()),
       timeline_(hub.timeline()),
       tagged_(tagged),
       config_(config),
-      tagged_prs_(tagged, hub.mac().params()),
+      tagged_prs_(tagged, hub.params()),
       model_(geom::RegionModel(config.separation_m, config.sensing_range_m)),
       ring_(&hub.frame_ring(*this, config.decoded_retention,
                             config.max_decoded_frames)),
       arma_(&hub.intensity_tracker(config.arma_alpha, config.arma_batch_slots)),
-      density_(&hub.density(*this, config.density_window, config.tx_range_m)) {
+      density_(&hub.density(*this, config.density_window, config.tx_range_m)),
+      seq_test_(make_sequential_test(config.detector, config.cusum, config.sprt)) {
   hub_.attach(this);
 }
 
@@ -29,11 +29,16 @@ Monitor::Monitor(std::unique_ptr<ObservationHub> owned, NodeId tagged,
   owned_hub_ = std::move(owned);
 }
 
+// The deprecated shim must call the ctor it replaces without tripping its
+// own deprecation warning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 Monitor::Monitor(sim::Simulator& simulator, mac::DcfMac& monitor_mac,
                  phy::CsTimeline& timeline, NodeId tagged,
                  const MonitorConfig& config)
     : Monitor(std::make_unique<ObservationHub>(simulator, monitor_mac, timeline),
               tagged, config) {}
+#pragma GCC diagnostic pop
 
 Monitor::~Monitor() { hub_.detach(this); }
 
@@ -45,12 +50,36 @@ void Monitor::set_active(bool active) {
     xs_.clear();
     ys_.clear();
     window_deterministic_flag_ = false;
+    if (seq_test_) {
+      seq_test_->reset();
+      seq_samples_ = 0;
+    }
     anchor_.reset();
     own_cts_pending_ = false;
     last_seq_off_.reset();
     last_rts_heard_.reset();
     last_digest_.reset();
     last_attempt_ = 0;
+  }
+}
+
+void accumulate_stats(MonitorStats& into, const MonitorStats& from) {
+  into.rts_observed += from.rts_observed;
+  into.samples += from.samples;
+  into.windows += from.windows;
+  into.flagged_windows += from.flagged_windows;
+  into.seq_off_violations += from.seq_off_violations;
+  into.attempt_violations += from.attempt_violations;
+  into.impossible_backoff += from.impossible_backoff;
+  into.skipped_no_anchor += from.skipped_no_anchor;
+  into.skipped_long_window += from.skipped_long_window;
+  into.skipped_queue_gap += from.skipped_queue_gap;
+  into.seq_off_resyncs += from.seq_off_resyncs;
+  into.frames_lost += from.frames_lost;
+  into.windows_discarded_impaired += from.windows_discarded_impaired;
+  if (from.first_flag_time < into.first_flag_time) {
+    into.first_flag_time = from.first_flag_time;
+    into.windows_to_first_flag = from.windows_to_first_flag;
   }
 }
 
@@ -89,7 +118,7 @@ void Monitor::on_hub_frame(const mac::Frame& frame, SimTime start, SimTime end) 
   const bool to_tagged = frame.receiver == tagged_;
   if (!from_tagged && !to_tagged) return;
 
-  const auto& params = mac_.params();
+  const auto& params = hub_.params();
   switch (frame.type) {
     case mac::FrameType::kRts:
       if (from_tagged) {
@@ -102,7 +131,7 @@ void Monitor::on_hub_frame(const mac::Frame& frame, SimTime start, SimTime end) 
     case mac::FrameType::kCts:
       // The exchange is progressing; DATA/ACK rules will provide the real
       // end. Track our own CTS to S so a dead exchange is recognized.
-      if (to_tagged && frame.transmitter == mac_.id()) own_cts_pending_ = true;
+      if (to_tagged && frame.transmitter == hub_.self()) own_cts_pending_ = true;
       break;
     case mac::FrameType::kData:
       if (from_tagged) {
@@ -124,7 +153,7 @@ void Monitor::on_hub_frame(const mac::Frame& frame, SimTime start, SimTime end) 
 void Monitor::note_exchange_end(SimTime at) { anchor_ = at; }
 
 std::uint64_t Monitor::unwrap_seq_off(std::uint32_t announced) {
-  const std::uint64_t modulo = mac_.params().seq_off_modulo;
+  const std::uint64_t modulo = hub_.params().seq_off_modulo;
   if (!last_seq_off_) return announced;
   const std::uint64_t base = *last_seq_off_;
   // Choose the smallest value >= base whose residue matches `announced`
@@ -137,7 +166,7 @@ std::uint64_t Monitor::unwrap_seq_off(std::uint32_t announced) {
 
 void Monitor::handle_tagged_rts(const mac::Frame& rts, SimTime start) {
   ++stats_.rts_observed;
-  const auto& params = mac_.params();
+  const auto& params = hub_.params();
 
   bool deterministic_violation = false;
   bool resynced = false;
@@ -221,7 +250,7 @@ void Monitor::handle_tagged_rts(const mac::Frame& rts, SimTime start) {
         result.at = sim_.now();
         result.p_less = 1.0;
         result.deterministic_flag = true;
-        record_window(result);
+        record_window(result, /*single_shot=*/true);
       }
     }
     ++stats_.skipped_no_anchor;
@@ -347,11 +376,42 @@ void Monitor::handle_tagged_rts(const mac::Frame& rts, SimTime start) {
 
 void Monitor::add_sample(double expected, double observed,
                          bool deterministic_violation) {
-  xs_.push_back(expected);
-  ys_.push_back(observed);
   ++stats_.samples;
   if (deterministic_violation) window_deterministic_flag_ = true;
+
+  if (seq_test_) {
+    // Sequential path: the running score absorbs the sample immediately;
+    // the margin shift makes an honest deficit negative on average, the
+    // same H0 the Wilcoxon path tests.
+    const double deficit = expected - observed - config_.margin_fraction;
+    const SequentialTest::Step step = seq_test_->update(deficit);
+    ++seq_samples_;
+    if (step.flag) {
+      close_sequential(/*crossed=*/true, step.score);
+      seq_test_->reset();
+    } else if (seq_samples_ >= config_.sample_size) {
+      // Checkpoint: an unflagged window carrying the current score, so
+      // honest runs still produce ROC denominators and latched
+      // deterministic flags surface no later than under Wilcoxon.
+      close_sequential(/*crossed=*/false, step.score);
+    }
+    return;
+  }
+
+  xs_.push_back(expected);
+  ys_.push_back(observed);
   if (xs_.size() >= config_.sample_size) close_window();
+}
+
+void Monitor::close_sequential(bool crossed, double score) {
+  WindowResult result;
+  result.at = sim_.now();
+  result.deterministic_flag = window_deterministic_flag_;
+  result.p_less = std::exp(-(score > 0.0 ? score : 0.0));
+  result.statistical_flag = crossed;
+  record_window(result);
+  seq_samples_ = 0;
+  window_deterministic_flag_ = false;
 }
 
 void Monitor::close_window() {
@@ -378,13 +438,16 @@ void Monitor::close_window() {
   window_deterministic_flag_ = false;
 }
 
-void Monitor::record_window(const WindowResult& result) {
+void Monitor::record_window(const WindowResult& result, bool single_shot) {
   ++stats_.windows;
   if (result.flagged()) {
     ++stats_.flagged_windows;
     if (stats_.first_flag_time == kTimeNever) {
       stats_.first_flag_time = result.at;
-      stats_.windows_to_first_flag = stats_.windows;
+      // A single-shot rts_gap_bound verdict closes no sample window: its
+      // position in the window sequence is an artifact of when unrelated
+      // traffic anchored, so it gets no ordinal (stays 0; see report.hpp).
+      stats_.windows_to_first_flag = single_shot ? 0 : stats_.windows;
     }
   }
   windows_.push_back(result);

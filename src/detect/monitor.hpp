@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "detect/observation_hub.hpp"
+#include "detect/sequential.hpp"
 #include "detect/system_state.hpp"
 #include "detect/wilcoxon.hpp"
 #include "geom/region_model.hpp"
@@ -60,6 +61,18 @@ struct MonitorConfig {
   /// test, so only deficits beyond the margin count as evidence.
   double margin_fraction = 0.10;
   WilcoxonOptions wilcoxon;
+
+  /// Statistical test closing the windows. kWilcoxon (default) is the
+  /// paper's batch rank-sum over `sample_size` pairs. kCusum / kSprt run a
+  /// sequential test over the same per-sample deficit (sequential.hpp):
+  /// a verdict window is emitted the moment the score crosses its
+  /// threshold (bounded time-to-detection), plus an unflagged checkpoint
+  /// window every `sample_size` samples carrying the running score as
+  /// p_less = exp(-score) — so honest runs still produce the window
+  /// denominators the ROC scorer needs.
+  DetectorKind detector = DetectorKind::kWilcoxon;
+  CusumParams cusum;
+  SprtParams sprt;
 
   double arma_alpha = 0.995;       // Eq. 6 smoothing constant
   std::size_t arma_batch_slots = 100;  // s: slots per ARMA batch
@@ -200,28 +213,40 @@ struct MonitorStats {
 
   // Time-to-detection, readable without the full window decision stream:
   // sim time the first flagged window closed at (kTimeNever while the
-  // tagged node was never flagged) and that window's 1-based ordinal.
+  // tagged node was never flagged) and that window's 1-based ordinal
+  // among the sample-driven windows. 0 means "no ordinal": either nothing
+  // ever flagged (first_flag_time == kTimeNever), or the first flag was a
+  // single-shot rts_gap_bound verdict, which closes no sample window and
+  // has no meaningful position in the window sequence (see report.hpp).
   SimTime first_flag_time = kTimeNever;
   std::uint64_t windows_to_first_flag = 0;
 
   bool operator==(const MonitorStats&) const = default;
 };
 
+/// Order-dependent accumulation of MonitorStats across monitors / trials
+/// (the experiment harness and the trace replay use the identical
+/// reduction so their aggregates compare byte-for-byte). First flag:
+/// earliest wins, and its window ordinal travels with it — mixing
+/// ordinals across sources would be meaningless.
+void accumulate_stats(MonitorStats& into, const MonitorStats& from);
+
 class Monitor : public HubView {
  public:
   /// Attaches as a view of `hub` (the hub's node is R). `tagged` is S.
+  /// Prefer MonitorFactory, which also covers the private-hub layout.
   Monitor(ObservationHub& hub, NodeId tagged, const MonitorConfig& config);
 
   /// Legacy standalone form: creates a private ObservationHub over the
-  /// node's MAC/timeline. `timeline` must be the carrier-sense timeline of
-  /// the same node.
+  /// node's MAC/timeline.
+  [[deprecated("use MonitorFactory(simulator, mac, timeline).watch(tagged)")]]
   Monitor(sim::Simulator& simulator, mac::DcfMac& monitor_mac,
           phy::CsTimeline& timeline, NodeId tagged, const MonitorConfig& config);
 
   ~Monitor() override;
 
   NodeId tagged() const { return tagged_; }
-  NodeId self() const { return mac_.id(); }
+  NodeId self() const { return hub_.self(); }
 
   /// Suspend/resume observation. Reactivation clears the partially filled
   /// window and the exchange anchor (used when mobility hands the
@@ -267,8 +292,11 @@ class Monitor : public HubView {
   void on_hub_frame(const mac::Frame& frame, SimTime start, SimTime end) override;
 
  private:
-  /// Delegation target for the legacy form: binds to *owned, then takes
-  /// ownership.
+  friend class MonitorFactory;
+
+  /// Delegation target for the private-hub layout (MonitorFactory's
+  /// standalone mode and the deprecated ctor): binds to *owned, then
+  /// takes ownership.
   Monitor(std::unique_ptr<ObservationHub> owned, NodeId tagged,
           const MonitorConfig& config);
 
@@ -276,9 +304,13 @@ class Monitor : public HubView {
   void note_exchange_end(SimTime at);
   void add_sample(double expected, double observed, bool deterministic_violation);
   void close_window();
-  /// Appends a completed window verdict (close_window and the anchorless
-  /// rts_gap_bound path) with the shared flag/first-flag bookkeeping.
-  void record_window(const WindowResult& result);
+  /// Emits a sequential-detector window (threshold crossing, or the
+  /// checkpoint every sample_size samples).
+  void close_sequential(bool crossed, double score);
+  /// Appends a completed window verdict with the shared flag/first-flag
+  /// bookkeeping. `single_shot` marks the anchorless rts_gap_bound path:
+  /// its verdicts carry no window ordinal (windows_to_first_flag stays 0).
+  void record_window(const WindowResult& result, bool single_shot = false);
   /// Unwraps the 13-bit announced offset against the last seen offset.
   std::uint64_t unwrap_seq_off(std::uint32_t announced);
 
@@ -287,7 +319,6 @@ class Monitor : public HubView {
   std::unique_ptr<ObservationHub> owned_hub_;
   ObservationHub& hub_;
   sim::Simulator& sim_;
-  mac::DcfMac& mac_;
   phy::CsTimeline& timeline_;
   NodeId tagged_;
   MonitorConfig config_;
@@ -320,6 +351,11 @@ class Monitor : public HubView {
   std::vector<double> ys_;
   bool window_deterministic_flag_ = false;
 
+  // Sequential-detector state (null under kWilcoxon). seq_samples_ counts
+  // samples since the last emitted window (crossing or checkpoint).
+  std::unique_ptr<SequentialTest> seq_test_;
+  std::size_t seq_samples_ = 0;
+
   // Statistics scratch, reused across windows (close_window allocates
   // nothing in steady state).
   std::vector<double> shifted_;
@@ -328,6 +364,58 @@ class Monitor : public HubView {
   MonitorStats stats_;
   std::vector<WindowResult> windows_;
   std::vector<SampleRecord> sample_log_;
+};
+
+/// Builder for monitors: one place to choose the observation layout and
+/// stamp out per-neighbor views with a shared config.
+///
+///   * Shared-hub mode (the optimized pipeline): every watch() attaches a
+///     view to the given ObservationHub — live or replay, the factory does
+///     not care where the hub's events come from.
+///   * Standalone mode: every watch() owns a private ObservationHub over
+///     the node's MAC/timeline — structurally the pre-hub pipeline, kept
+///     as the equivalence-test reference and perf baseline.
+///
+/// Replaces the legacy 5-argument Monitor constructor and the ad-hoc
+/// share_hub branching the experiment harness used to do inline.
+class MonitorFactory {
+ public:
+  /// Shared-hub mode: views over `hub`.
+  explicit MonitorFactory(ObservationHub& hub) : hub_(&hub) {}
+
+  /// Standalone mode: a private hub per monitor on this node.
+  MonitorFactory(sim::Simulator& simulator, mac::DcfMac& monitor_mac,
+                 phy::CsTimeline& timeline)
+      : sim_(&simulator), mac_(&monitor_mac), timeline_(&timeline) {}
+
+  /// Config applied by subsequent watch() calls (chainable).
+  MonitorFactory& with_config(const MonitorConfig& config) {
+    config_ = config;
+    return *this;
+  }
+  const MonitorConfig& config() const { return config_; }
+
+  /// Creates a monitor of `tagged` with the current config.
+  std::unique_ptr<Monitor> watch(NodeId tagged) const {
+    if (hub_) return std::make_unique<Monitor>(*hub_, tagged, config_);
+    auto owned =
+        std::make_unique<ObservationHub>(*sim_, *mac_, *timeline_);
+    return std::unique_ptr<Monitor>(
+        new Monitor(std::move(owned), tagged, config_));
+  }
+
+  /// Convenience: watch() with a one-off config.
+  std::unique_ptr<Monitor> watch(NodeId tagged, const MonitorConfig& config) {
+    config_ = config;
+    return watch(tagged);
+  }
+
+ private:
+  ObservationHub* hub_ = nullptr;
+  sim::Simulator* sim_ = nullptr;
+  mac::DcfMac* mac_ = nullptr;
+  phy::CsTimeline* timeline_ = nullptr;
+  MonitorConfig config_;
 };
 
 }  // namespace manet::detect

@@ -4,10 +4,15 @@
 
 namespace manet::detect {
 
+ObservationHub::ObservationHub(sim::Simulator& simulator, NodeId self,
+                               const mac::DcfParams& params,
+                               phy::CsTimeline& timeline)
+    : sim_(simulator), self_(self), params_(params), timeline_(timeline) {}
+
 ObservationHub::ObservationHub(sim::Simulator& simulator, mac::DcfMac& monitor_mac,
                                phy::CsTimeline& timeline)
-    : sim_(simulator), mac_(monitor_mac), timeline_(timeline) {
-  mac_.add_observer(this);
+    : ObservationHub(simulator, monitor_mac.id(), monitor_mac.params(), timeline) {
+  monitor_mac.add_observer(this);
 }
 
 void ObservationHub::attach(HubView* view) { views_.push_back(view); }
@@ -76,6 +81,45 @@ HeardTransmitterDensity& ObservationHub::density(const HubView& holder,
 }
 
 void ObservationHub::on_frame(const mac::Frame& frame, SimTime start, SimTime end) {
+  ingest_frame(frame, start, end);
+}
+
+void ObservationHub::ingest(const ObservationEvent& event) {
+  switch (event.kind) {
+    case ObservationKind::kFrame:
+      ingest_frame(event.to_frame(), event.start, event.at);
+      break;
+    case ObservationKind::kCarrier:
+      timeline_.on_carrier(event.rising, event.at);
+      break;
+    case ObservationKind::kOutage:
+      timeline_.on_outage(event.rising, event.at);
+      break;
+    case ObservationKind::kMarker:
+      break;  // out-of-band; consume() hands these to its marker handler
+  }
+}
+
+void ObservationHub::consume(
+    ObservationSource& source,
+    const std::function<void(const ObservationEvent&)>& on_marker) {
+  ObservationEvent event;
+  while (source.next(event)) {
+    // Fire everything the simulator owes up to the event's instant (the
+    // ARMA tick chain) before the event lands — the order a live run
+    // produces, where ticks are enqueued far earlier than frame decodes
+    // and therefore win FIFO tie-breaks at equal times.
+    sim_.run_until(event.at);
+    if (event.kind == ObservationKind::kMarker) {
+      if (on_marker) on_marker(event);
+      continue;
+    }
+    ingest(event);
+  }
+}
+
+void ObservationHub::ingest_frame(const mac::Frame& frame, SimTime start,
+                                  SimTime end) {
   bool any_active = false;
   for (HubView* view : views_) {
     if (view->view_active()) {
@@ -85,7 +129,7 @@ void ObservationHub::on_frame(const mac::Frame& frame, SimTime start, SimTime en
   }
   if (!any_active) return;
 
-  if (frame.transmitter != mac_.id()) {
+  if (frame.transmitter != self_) {
     for (auto& entry : densities_) {
       if (any_holder_active(entry->holders)) {
         entry->density.heard(frame.transmitter, end);
@@ -117,7 +161,7 @@ const WindowAccounting& ObservationHub::FrameRing::window_accounting(
       memo_tagged_ == tagged) {
     return memo_;
   }
-  const auto& params = hub_.mac().params();
+  const auto& params = hub_.params();
   phy::CsTimeline& timeline = hub_.timeline();
 
   // Certainly-blocked time: decoded air plus NAV reservations that bind the
@@ -168,7 +212,7 @@ const WindowAccounting& ObservationHub::FrameRing::window_accounting(
 
 void ObservationHub::IntensityTracker::schedule_tick() {
   const SimDuration batch = static_cast<SimDuration>(batch_slots_) *
-                            hub_.mac().params().slot_time;
+                            hub_.params().slot_time;
   hub_.simulator().after(batch, [this] {
     const SimTime now = hub_.simulator().now();
     filter_.add_batch(hub_.timeline().busy_fraction(last_tick_, now));

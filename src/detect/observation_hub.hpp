@@ -32,16 +32,25 @@
 //    shared component keeps updating for the active holder — a private
 //    pre-refactor estimator would have frozen instead. Attach views whose
 //    activity can diverge to separate hubs if that distinction matters.
+//
+// Ingestion is source-agnostic (PR 7): the hub consumes ObservationEvents
+// (decoded frame / carrier edge / outage edge, observation_source.hpp)
+// either pushed by live simulator callbacks (the mac::MacObserver hook,
+// with the radio feeding the timeline directly) or pulled from a recorded
+// trace via consume(). Both paths funnel into the same ingest_frame()
+// code, so live and replayed detection are byte-identical.
 #pragma once
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "detect/arma.hpp"
 #include "detect/density.hpp"
+#include "detect/observation_source.hpp"
 #include "mac/dcf.hpp"
 #include "phy/cs_timeline.hpp"
 #include "sim/simulator.hpp"
@@ -160,8 +169,17 @@ class ObservationHub : public mac::MacObserver {
     SimTime last_tick_ = 0;
   };
 
-  /// Registers with `monitor_mac`'s observer hook. `timeline` must be the
-  /// carrier-sense timeline of the same node.
+  /// Source-agnostic form: a hub for node `self` (the monitor node R)
+  /// whose observations arrive via ingest()/consume(). `timeline` is the
+  /// carrier-sense record the hub reads AND (for replayed carrier/outage
+  /// events) writes; it must belong to the same node.
+  ObservationHub(sim::Simulator& simulator, NodeId self,
+                 const mac::DcfParams& params, phy::CsTimeline& timeline);
+
+  /// Live convenience form: registers with `monitor_mac`'s observer hook
+  /// so decoded frames are pushed in by the simulation (the node's radio
+  /// feeds `timeline` directly). `timeline` must be the carrier-sense
+  /// timeline of the same node.
   ObservationHub(sim::Simulator& simulator, mac::DcfMac& monitor_mac,
                  phy::CsTimeline& timeline);
 
@@ -182,8 +200,24 @@ class ObservationHub : public mac::MacObserver {
                                    double tx_range_m);
 
   sim::Simulator& simulator() { return sim_; }
-  mac::DcfMac& mac() { return mac_; }
+  /// The monitor node this hub observes the air from (R).
+  NodeId self() const { return self_; }
+  /// MAC/PHY timing parameters of the observed protocol.
+  const mac::DcfParams& params() const { return params_; }
   phy::CsTimeline& timeline() { return timeline_; }
+
+  /// Feeds one observation event through the same path the live callbacks
+  /// use: frames go to the shared components and attached views, carrier
+  /// and outage edges go to the timeline. kMarker events are ignored here
+  /// (replay harnesses interpret them via consume()'s handler).
+  void ingest(const ObservationEvent& event);
+
+  /// Pull-from-source ingestion loop: advances the hub's simulator to each
+  /// event's time (firing due ARMA ticks exactly as a live run would),
+  /// then ingests it. `on_marker`, when set, receives kMarker events
+  /// (activity toggles of a recorded mobile-handoff run).
+  void consume(ObservationSource& source,
+               const std::function<void(const ObservationEvent&)>& on_marker = {});
 
   // Sharing diagnostics (tests assert views with equal knobs share).
   std::size_t view_count() const { return views_.size(); }
@@ -191,10 +225,15 @@ class ObservationHub : public mac::MacObserver {
   std::size_t tracker_count() const { return trackers_.size(); }
   std::size_t density_count() const { return densities_.size(); }
 
-  // mac::MacObserver:
+  // mac::MacObserver (live push path — delegates to the shared ingestion):
   void on_frame(const mac::Frame& frame, SimTime start, SimTime end) override;
 
  private:
+  /// Shared ingestion body: density/ring updates + view dispatch. The live
+  /// on_frame passes the original frame; ingest() passes the reconstructed
+  /// one (identical in every field the pipeline reads).
+  void ingest_frame(const mac::Frame& frame, SimTime start, SimTime end);
+
   struct DensityEntry {
     SimDuration window;
     double tx_range_m;
@@ -209,7 +248,8 @@ class ObservationHub : public mac::MacObserver {
   static bool any_holder_active(const std::vector<const HubView*>& holders);
 
   sim::Simulator& sim_;
-  mac::DcfMac& mac_;
+  NodeId self_;
+  mac::DcfParams params_;
   phy::CsTimeline& timeline_;
   std::vector<HubView*> views_;
   // unique_ptr entries: views hold raw pointers across growth.

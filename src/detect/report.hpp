@@ -1,6 +1,21 @@
 // Human-readable rendering of a monitor's verdict — the library's
 // "explain yourself" surface, used by the examples and handy in a REPL
 // or debugger.
+//
+// Time-to-detection semantics (MonitorStats): `first_flag_time` is the
+// sim time the first flagged window closed (kTimeNever if none did) and
+// `windows_to_first_flag` is that window's 1-based ordinal among the
+// sample-driven windows (Wilcoxon batches or sequential-test emissions).
+// The ordinal is reported as 0 — meaning "absent" — in two cases:
+//   * nothing ever flagged (first_flag_time == kTimeNever), and
+//   * the first flag came from a single-shot `rts_gap_bound` verdict.
+// A gap-bound verdict fires immediately on one impossible anchorless RTS;
+// it closes no sample window, so "how many windows until the flag" is not
+// a meaningful question for it — where it lands among the regular windows
+// depends only on when unrelated traffic happened to anchor. Consumers
+// ranking detectors by window count must treat 0 as "flagged without a
+// window ordinal" whenever first_flag_time != kTimeNever (use
+// first_flag_time itself for latency comparisons; it is always valid).
 #pragma once
 
 #include <string>

@@ -41,6 +41,8 @@ struct DcfParams {
   /// Modulo for the 13-bit sequence-offset field of the modified RTS.
   std::uint32_t seq_off_modulo = 1u << 13;
 
+  bool operator==(const DcfParams&) const = default;
+
   /// Contention window (inclusive upper bound of the back-off draw) for a
   /// 1-based attempt number: CW = min((cw_min+1) * 2^(attempt-1), cw_max+1) - 1.
   std::uint32_t cw_for_attempt(std::uint32_t attempt) const {

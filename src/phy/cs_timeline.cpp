@@ -230,4 +230,40 @@ SimDuration CsTimeline::outage_time_reference(SimTime from, SimTime to) const {
   return total;
 }
 
+CsTimelineSnapshot CsTimeline::snapshot() const {
+  CsTimelineSnapshot snap;
+  snap.retention = retention_;
+  snap.initial_busy = initial_busy_;
+  snap.current_busy = current_busy_;
+  snap.in_outage = in_outage_;
+  snap.last_edge = last_edge_;
+  snap.outage_start = outage_start_;
+  snap.cum_busy = cum_busy_;
+  snap.transitions.reserve(transitions_.size());
+  for (const Transition& tr : transitions_) {
+    snap.transitions.emplace_back(tr.at, tr.busy);
+  }
+  snap.outages.reserve(outages_.size());
+  for (const OutageSpan& o : outages_) snap.outages.emplace_back(o.start, o.stop);
+  return snap;
+}
+
+void CsTimeline::restore(const CsTimelineSnapshot& snap) {
+  retention_ = snap.retention;
+  initial_busy_ = snap.initial_busy;
+  current_busy_ = snap.current_busy;
+  in_outage_ = snap.in_outage;
+  last_edge_ = snap.last_edge;
+  outage_start_ = snap.outage_start;
+  cum_busy_ = snap.cum_busy;
+  transitions_.clear();
+  for (const auto& [at, busy] : snap.transitions) {
+    transitions_.push_back(Transition{at, busy});
+  }
+  outages_.clear();
+  for (const auto& [start, stop] : snap.outages) {
+    outages_.push_back(OutageSpan{start, stop});
+  }
+}
+
 }  // namespace manet::phy

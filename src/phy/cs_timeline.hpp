@@ -19,6 +19,25 @@
 
 namespace manet::phy {
 
+/// Full internal state of a CsTimeline, for exact capture/restore. The
+/// trace recorder (src/detect/trace.hpp) snapshots a node's timeline at
+/// monitor-attach time so a replayed run sees the identical pre-attach
+/// carrier history (the ARMA filter's first batches read back before the
+/// attach instant).
+struct CsTimelineSnapshot {
+  SimDuration retention = 0;
+  bool initial_busy = false;
+  bool current_busy = false;
+  bool in_outage = false;
+  SimTime last_edge = 0;
+  SimTime outage_start = 0;
+  SimDuration cum_busy = 0;
+  std::vector<std::pair<SimTime, bool>> transitions;      // (at, busy)
+  std::vector<std::pair<SimTime, SimTime>> outages;       // completed spans
+
+  bool operator==(const CsTimelineSnapshot&) const = default;
+};
+
 struct SlotCounts {
   std::int64_t idle = 0;
   std::int64_t busy = 0;
@@ -101,6 +120,11 @@ class CsTimeline : public RadioListener {
   SimDuration outage_time_reference(SimTime from, SimTime to) const;
 
   std::size_t recorded_transitions() const { return transitions_.size(); }
+
+  /// Exact state capture / restore (see CsTimelineSnapshot). restore()
+  /// replaces every field, including the retention horizon.
+  CsTimelineSnapshot snapshot() const;
+  void restore(const CsTimelineSnapshot& snap);
 
  private:
   void prune(SimTime now);

@@ -288,6 +288,11 @@ TEST(AttackerExperiments, RtsFloodOnlyVisibleThroughTheGapBound) {
   EXPECT_GT(armed.per_config[0].windows, 10 * blind.per_config[0].windows);
   EXPECT_GT(armed.per_config[0].flagged, 0u);
   EXPECT_GT(armed.per_config[0].stats.impossible_backoff, 0u);
+  // The flood is caught by single-shot gap-bound verdicts: first_flag_time
+  // is valid but the window ordinal is reported as 0 / "absent" because a
+  // gap-bound flag closes no sample window (see report.hpp).
+  EXPECT_NE(armed.per_config[0].stats.first_flag_time, kTimeNever);
+  EXPECT_EQ(armed.per_config[0].stats.windows_to_first_flag, 0u);
 }
 
 TEST(AttackerExperiments, MobileHandoffRejectsMultiIdentityAttackers) {

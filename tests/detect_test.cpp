@@ -374,7 +374,7 @@ struct MonitorFixture {
 
   Monitor& attach_monitor(MonitorConfig cfg) {
     cfg.separation_m = 200;
-    monitor = std::make_unique<Monitor>(sim, *macs[1], *timelines[1], 0, cfg);
+    monitor = MonitorFactory(sim, *macs[1], *timelines[1]).watch(0, cfg);
     return *monitor;
   }
 
@@ -547,7 +547,8 @@ TEST(Monitor, RetryCheaterCaughtByAttemptCheck) {
 
   MonitorConfig mc;
   mc.separation_m = 200;
-  Monitor mon(sim, *macs[1], *timelines[1], 0, mc);
+  const auto mon_ptr = MonitorFactory(sim, *macs[1], *timelines[1]).watch(0, mc);
+  Monitor& mon = *mon_ptr;
 
   const SimTime stop = 30 * kSecond;
   std::uint64_t id = 1;
@@ -591,7 +592,9 @@ TEST(Monitor, ThirdPartyMonitorCollectsSamples) {
 
   MonitorConfig mc;
   mc.separation_m = 200;
-  Monitor mon(sim, *macs[2], *timelines[2], 0, mc);  // node 2 is third party
+  // Node 2 is the third party.
+  const auto mon_ptr = MonitorFactory(sim, *macs[2], *timelines[2]).watch(0, mc);
+  Monitor& mon = *mon_ptr;
 
   const SimTime stop = 20 * kSecond;
   std::uint64_t id = 1;

@@ -213,12 +213,35 @@ TEST(Hub, DetachReleasesViews) {
 }
 
 TEST(Hub, LegacyMonitorCtorOwnsPrivateHub) {
-  // The pre-hub constructor signature still works and behaves like a
-  // monitor with a private hub.
+  // The deprecated pre-factory constructor signature still works and
+  // behaves like a monitor with a private hub.
   HubFixture f;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   Monitor m(f.sim, f.mac, f.timeline, 0, small_monitor());
+#pragma GCC diagnostic pop
   EXPECT_EQ(m.hub().view_count(), 1u);
   EXPECT_NE(&m.hub(), &f.hub);
+}
+
+TEST(Hub, FactoryStandaloneMatchesLegacyLayout) {
+  HubFixture f;
+  const auto m = MonitorFactory(f.sim, f.mac, f.timeline).watch(0, small_monitor());
+  EXPECT_EQ(m->hub().view_count(), 1u);
+  EXPECT_NE(&m->hub(), &f.hub);
+  EXPECT_EQ(m->self(), 1u);  // the fixture's MAC is node 1
+}
+
+TEST(Hub, FactorySharedModeStampsViews) {
+  HubFixture f;
+  MonitorFactory factory(f.hub);
+  factory.with_config(small_monitor());
+  const auto a = factory.watch(0);
+  MonitorConfig other = small_monitor();
+  other.sample_size = 25;
+  const auto b = factory.watch(0, other);
+  EXPECT_EQ(f.hub.view_count(), 2u);
+  EXPECT_EQ(f.hub.ring_count(), 1u);  // knobs equal -> shared ring
 }
 
 }  // namespace

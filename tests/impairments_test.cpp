@@ -194,7 +194,7 @@ struct LossyFixture {
 
   Monitor& attach_monitor(MonitorConfig cfg) {
     cfg.separation_m = 200;
-    monitor = std::make_unique<Monitor>(sim, *macs[1], *timelines[1], 0, cfg);
+    monitor = detect::MonitorFactory(sim, *macs[1], *timelines[1]).watch(0, cfg);
     return *monitor;
   }
 
