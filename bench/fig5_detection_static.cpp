@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
       cfg.scenario = scenario;
       cfg.rate_pps = load_rates[li];
       cfg.pm = pm;
-      cfg.share_hub = flags.share_hub();
+      cfg.pipeline = flags.pipeline();
       for (double ss : sample_sizes) {
         detect::MonitorConfig m;
         m.sample_size = static_cast<std::size_t>(ss);
@@ -148,7 +148,7 @@ int main(int argc, char** argv) {
         cfg.scenario = scenario;
         cfg.rate_pps = load_rates[li];
         cfg.attacker = spec;
-        cfg.share_hub = flags.share_hub();
+        cfg.pipeline = flags.pipeline();
         for (double ss : sample_sizes) {
           detect::MonitorConfig m;
           m.sample_size = static_cast<std::size_t>(ss);

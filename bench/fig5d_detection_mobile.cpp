@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
     cfg.rate_pps = rate;
     cfg.pm = pm;
     cfg.mobile_handoff = true;
-    cfg.share_hub = flags.share_hub();
+    cfg.pipeline = flags.pipeline();
     for (double ss : sample_sizes) {
       detect::MonitorConfig m;
       m.sample_size = static_cast<std::size_t>(ss);

@@ -11,9 +11,11 @@
 // Not a figure from the paper; it extends the Figure-5 setup to the
 // paper's remark that every neighbor of a sender can monitor it
 // independently. Detection rates are per-monitor-config aggregates over
-// all monitoring nodes. --monitor_impl=reference runs the same workload on
-// private per-monitor state (the pre-hub pipeline) — bit-identical
-// results, and the wall-clock ratio is the headline of bench/perf_pr5.sh.
+// all monitoring nodes. --monitor_impl picks the pipeline: batch (SoA
+// config-group lanes, the default), hub (one view per monitor), or
+// reference (private per-monitor state, the pre-hub pipeline) — all three
+// bit-identical, and the batch/hub wall-clock ratio at --grid_spacing=170
+// (degree-8 center) is the headline of bench/perf_pr8.sh.
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -33,6 +35,10 @@ int main(int argc, char** argv) {
   flags.add_double_list("margins", "0.05,0.10,0.15", "permissible deficit fractions (configs = sizes x margins)");
   flags.add_int("grid_rows", 3, "grid rows (3x3 = one contention domain)");
   flags.add_int("grid_cols", 3, "grid columns");
+  flags.add_double("grid_spacing", 240,
+                   "one-hop neighbor spacing (m); below ~176 the 3x3 grid's "
+                   "diagonals come in tx range and all-pairs monitoring "
+                   "reaches degree 8 at the center");
   flags.add_int("num_flows", 8, "one-hop flows");
   flags.add_double("sim_time", 120, "simulated seconds per (load, PM) point");
   flags.add_int("runs", 2, "independent runs per point (consecutive seeds)");
@@ -58,6 +64,7 @@ int main(int argc, char** argv) {
   scenario.grid_rows = static_cast<std::size_t>(flags.get_int("grid_rows"));
   scenario.grid_cols = static_cast<std::size_t>(flags.get_int("grid_cols"));
   scenario.num_flows = static_cast<std::size_t>(flags.get_int("num_flows"));
+  scenario.grid_spacing_m = flags.get_double("grid_spacing");
   scenario.sim_seconds = flags.get_double("sim_time");
   scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
@@ -76,7 +83,7 @@ int main(int argc, char** argv) {
       cfg.rate_pps = load_rates[li];
       cfg.pm = pm;
       cfg.all_pairs = true;
-      cfg.share_hub = flags.share_hub();
+      cfg.pipeline = flags.pipeline();
       for (double margin : margins) {
         for (double ss : sample_sizes) {
           detect::MonitorConfig m;

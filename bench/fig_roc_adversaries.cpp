@@ -119,7 +119,7 @@ int main(int argc, char** argv) {
     cfg.scenario = scenario;
     cfg.rate_pps = rate_pps;
     cfg.attacker = spec;
-    cfg.share_hub = flags.share_hub();
+    cfg.pipeline = flags.pipeline();
     cfg.collect_windows = true;
     // Config index (di * |sample_sizes| + si): detector-major, matching
     // the scoring loops below.

@@ -12,7 +12,7 @@
 //
 // The engine/monitor flag groups shared by the sweep benches (--threads,
 // --json, --monitor_impl) register with one call and come with their
-// factories (make_engine, make_sink, share_hub).
+// factories (make_engine, make_sink, pipeline).
 #pragma once
 
 #include <cstdio>
@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "detect/monitor.hpp"
 #include "exp/engine.hpp"
 #include "exp/sink.hpp"
 #include "util/config.hpp"
@@ -148,15 +149,17 @@ class FlagSet {
     return *this;
   }
 
-  /// --monitor_impl for detection benches: "hub" (shared ObservationHub per
-  /// monitoring node, the optimized pipeline) or "reference" (private hub
+  /// --monitor_impl for detection benches: "batch" (SoA config-group lanes
+  /// over a shared ObservationHub, the optimized pipeline), "hub" (one
+  /// HubView per monitor over a shared hub), or "reference" (private hub
   /// per monitor, structurally the pre-hub pipeline). Results are
-  /// bit-identical either way — perf_pr5.sh diffs them — so the flag is
-  /// deliberately NOT part of the JSON records.
+  /// bit-identical across all three — perf_pr5.sh/perf_pr8.sh diff them —
+  /// so the flag is deliberately NOT part of the JSON records.
   FlagSet& add_monitor_impl_flag() {
-    add_string("monitor_impl", "hub",
-               "detection pipeline: hub (shared per-node observation hub) "
-               "or reference (private per-monitor state; perf baseline)");
+    add_string("monitor_impl", "batch",
+               "detection pipeline: batch (SoA lanes over a shared "
+               "observation hub), hub (one view per monitor), or reference "
+               "(private per-monitor state; perf baseline)");
     has_monitor_impl_flag_ = true;
     return *this;
   }
@@ -229,8 +232,10 @@ class FlagSet {
     }
   }
 
-  /// share_hub value of --monitor_impl (requires add_monitor_impl_flag()).
-  bool share_hub() const { return config_.get("monitor_impl") == "hub"; }
+  /// PipelineImpl value of --monitor_impl (requires add_monitor_impl_flag()).
+  detect::PipelineImpl pipeline() const {
+    return detect::pipeline_from_name(config_.get("monitor_impl"));
+  }
 
   /// The underlying store, for benches that render or forward it wholesale
   /// (table1_parameters prints the full declaration table).
@@ -282,8 +287,8 @@ class FlagSet {
     }
     if (has_monitor_impl_flag_) {
       const std::string& impl = config_.get("monitor_impl");
-      if (impl != "hub" && impl != "reference") {
-        throw util::ConfigError("--monitor_impl must be hub or reference");
+      if (impl != "batch" && impl != "hub" && impl != "reference") {
+        throw util::ConfigError("--monitor_impl must be batch, hub, or reference");
       }
     }
   }

@@ -2,31 +2,38 @@
 // detect/replay.hpp): how fast a recorded observation trace moves through
 // the wire format and through the full offline detection pipeline.
 //
-//  * BM_TraceDecode      — parse + CRC-check a serialized .mtrace image
-//                          into ObservationEvents (MemoryTraceReader).
-//  * BM_TraceSerialize   — the writer side: frame, block, and checksum a
-//                          recorded event stream back into wire bytes.
-//  * BM_ReplayIngest/... — reconstruct the monitor world and pump every
-//                          event through ObservationHub::consume with the
-//                          given detector closing the windows. This is the
-//                          number the streaming redesign is judged by:
-//                          frames_per_s must clear 1M/s (items are decoded
-//                          frames, the unit detection latency is quoted in;
-//                          events_per_s counts carrier edges too).
+//  * trace_decode     — parse + CRC-check a serialized .mtrace image
+//                       into ObservationEvents (MemoryTraceReader).
+//  * trace_serialize  — the writer side: frame, block, and checksum a
+//                       recorded event stream back into wire bytes.
+//  * replay_batch_*   — reconstruct the monitor world and pump every
+//                       event through ObservationHub::consume with the
+//                       batched pipeline and the given detector closing
+//                       windows. This is the number the streaming path is
+//                       judged by: frames/s (ops are decoded frames, the
+//                       unit detection latency is quoted in) must clear
+//                       1M/s; the per-record `events` field counts
+//                       carrier edges too.
+//  * replay_*_wilcoxon_x16 — the same replay evaluating a 16-config
+//                       (sample size x margin) monitor grid over the one
+//                       recorded stream; batch_x16/hub_x16 is the
+//                       ingest-side speedup perf_pr8.sh records (the
+//                       single-config replay_hub_wilcoxon twin shows the
+//                       lane indirection is noise when nothing shares).
 //
 // The workload trace is recorded once per process from a fig5-style
 // static-grid run (PM 65, saturating rate) — the same shape the
 // live-vs-replay equivalence tests pin down byte-for-byte.
-#include <benchmark/benchmark.h>
-
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "detect/experiment.hpp"
 #include "detect/replay.hpp"
 #include "detect/sequential.hpp"
 #include "detect/trace.hpp"
+#include "micro_common.hpp"
 
 namespace {
 
@@ -70,80 +77,109 @@ TraceCensus census(const detect::MemoryTraceReader& reader) {
   return c;
 }
 
-void BM_TraceDecode(benchmark::State& state) {
-  const auto& bytes = workload_trace();
-  std::size_t events = 0;
-  for (auto _ : state) {
-    detect::MemoryTraceReader reader(bytes);
-    events = reader.event_count();
-    benchmark::DoNotOptimize(reader.events().data());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(events));
-  state.SetBytesProcessed(state.iterations() *
-                          static_cast<std::int64_t>(bytes.size()));
-  state.counters["events"] = static_cast<double>(events);
-}
-
-void BM_TraceSerialize(benchmark::State& state) {
-  const detect::MemoryTraceReader reader(workload_trace());
-  for (auto _ : state) {
-    detect::TraceWriter writer(reader.header());
-    for (const auto& ev : reader.events()) writer.record(ev);
-    const auto bytes = writer.serialize();
-    benchmark::DoNotOptimize(bytes.data());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(reader.event_count()));
-}
-
-/// The acceptance benchmark: full offline detection over the trace.
-void run_ingest(benchmark::State& state, detect::DetectorKind kind) {
+/// Full offline detection over the trace; ops = decoded frames replayed.
+/// `configs` > 1 replays a (sample size x margin) monitor grid over the
+/// one recorded stream — the shape the batched lanes exist for.
+void run_replay(bench::MicroHarness& h, const std::string& name,
+                detect::PipelineImpl impl, detect::DetectorKind kind,
+                std::size_t configs, std::size_t base_reps) {
+  if (!h.enabled(name)) return;
   detect::MemoryTraceReader reader(workload_trace());
   const TraceCensus c = census(reader);
-  detect::MonitorConfig m;
-  m.sample_size = 10;
-  m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;
-  m.fixed_contenders = 20.0;
-  m.detector = kind;
-  const std::vector<detect::MonitorConfig> monitors{m};
-
-  std::uint64_t windows = 0;
-  for (auto _ : state) {
-    detect::ReplaySession session(reader.header(), monitors);
-    reader.rewind();
-    session.run(reader);
-    windows = session.views().front()->stats().windows;
-    benchmark::DoNotOptimize(windows);
+  std::vector<detect::MonitorConfig> monitors;
+  const std::size_t sample_sizes[] = {10, 25, 50, 100};
+  for (std::size_t i = 0; i < configs; ++i) {
+    detect::MonitorConfig m;
+    m.sample_size = sample_sizes[i % 4];
+    m.margin_fraction = 0.05 + 0.01 * static_cast<double>(i / 4);
+    m.fixed_n = m.fixed_k = m.fixed_m = m.fixed_j = 5.0;
+    m.fixed_contenders = 20.0;
+    m.detector = kind;
+    monitors.push_back(m);
   }
-  // items = decoded frames: "frames per second" is the acceptance metric.
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(c.frames));
-  state.counters["events_per_s"] = benchmark::Counter(
-      static_cast<double>(state.iterations() * c.events),
-      benchmark::Counter::kIsRate);
-  state.counters["frames"] = static_cast<double>(c.frames);
-  state.counters["windows"] = static_cast<double>(windows);
-}
 
-void BM_ReplayIngestWilcoxon(benchmark::State& state) {
-  run_ingest(state, detect::DetectorKind::kWilcoxon);
+  const std::size_t reps = h.reps(base_reps);
+  std::uint64_t windows = 0;
+  h.run_case(
+      name,
+      [&] {
+        for (std::size_t i = 0; i < reps; ++i) {
+          detect::ReplaySession session(reader.header(), monitors, impl);
+          reader.rewind();
+          session.run(reader);
+          windows = session.views().front()->stats().windows;
+          bench::keep(windows);
+        }
+        return static_cast<std::uint64_t>(reps * c.frames);
+      },
+      [&](exp::Record& rec) {
+        rec.add("frames", c.frames)
+            .add("events", c.events)
+            .add("configs", configs)
+            .add("windows", windows);
+      });
 }
-BENCHMARK(BM_ReplayIngestWilcoxon)->Unit(benchmark::kMillisecond);
-
-void BM_ReplayIngestCusum(benchmark::State& state) {
-  run_ingest(state, detect::DetectorKind::kCusum);
-}
-BENCHMARK(BM_ReplayIngestCusum)->Unit(benchmark::kMillisecond);
-
-void BM_ReplayIngestSprt(benchmark::State& state) {
-  run_ingest(state, detect::DetectorKind::kSprt);
-}
-BENCHMARK(BM_ReplayIngestSprt)->Unit(benchmark::kMillisecond);
-
-BENCHMARK(BM_TraceDecode)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_TraceSerialize)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::MicroHarness h(
+      "micro_ingest",
+      "Streaming detection path: trace wire-format decode/serialize and "
+      "full offline replay through the batched and hub pipelines.",
+      argc, argv);
+
+  if (h.enabled("trace_decode")) {
+    const auto& bytes = workload_trace();
+    const std::size_t reps = h.reps(50);
+    std::size_t events = 0;
+    h.run_case(
+        "trace_decode",
+        [&] {
+          std::uint64_t total = 0;
+          for (std::size_t i = 0; i < reps; ++i) {
+            detect::MemoryTraceReader reader(bytes);
+            events = reader.event_count();
+            total += events;
+            bench::keep(reader.events().data());
+          }
+          return total;  // ops = events decoded
+        },
+        [&](exp::Record& rec) {
+          rec.add("events", events).add("trace_bytes", bytes.size());
+        });
+  }
+
+  if (h.enabled("trace_serialize")) {
+    const detect::MemoryTraceReader reader(workload_trace());
+    const std::size_t reps = h.reps(50);
+    h.run_case(
+        "trace_serialize",
+        [&] {
+          std::uint64_t total = 0;
+          for (std::size_t i = 0; i < reps; ++i) {
+            detect::TraceWriter writer(reader.header());
+            for (const auto& ev : reader.events()) writer.record(ev);
+            const auto bytes = writer.serialize();
+            total += reader.event_count();
+            bench::keep(bytes.data());
+          }
+          return total;  // ops = events serialized
+        },
+        [&](exp::Record& rec) { rec.add("events", reader.event_count()); });
+  }
+
+  run_replay(h, "replay_batch_wilcoxon", detect::PipelineImpl::kBatch,
+             detect::DetectorKind::kWilcoxon, 1, 20);
+  run_replay(h, "replay_batch_cusum", detect::PipelineImpl::kBatch,
+             detect::DetectorKind::kCusum, 1, 20);
+  run_replay(h, "replay_batch_sprt", detect::PipelineImpl::kBatch,
+             detect::DetectorKind::kSprt, 1, 20);
+  run_replay(h, "replay_hub_wilcoxon", detect::PipelineImpl::kHub,
+             detect::DetectorKind::kWilcoxon, 1, 20);
+  run_replay(h, "replay_batch_wilcoxon_x16", detect::PipelineImpl::kBatch,
+             detect::DetectorKind::kWilcoxon, 16, 10);
+  run_replay(h, "replay_hub_wilcoxon_x16", detect::PipelineImpl::kHub,
+             detect::DetectorKind::kWilcoxon, 16, 10);
+  return 0;
+}

@@ -1,20 +1,23 @@
 // Microbenchmarks of the detection pipeline itself: complete
 // run_multi_detection_experiment simulations on a small Table-1 grid,
-// comparing the shared-ObservationHub pipeline (share_hub=true) against
-// the private-per-monitor reference (share_hub=false, structurally the
-// pre-hub pipeline). Both variants produce bit-identical WindowResult
-// sequences — the wall-clock gap is pure overhead removed by sharing the
-// decoded-frame ring, density estimator, ARMA tracker, and the per-window
-// interval-set memo across a node's monitors.
+// comparing the batched SoA pipeline (monitor lanes grouped per config
+// over one ObservationHub) against the per-view hub pipeline and the
+// private-per-monitor reference (structurally the pre-hub pipeline). All
+// three produce bit-identical WindowResult sequences — the wall-clock
+// gaps are pure overhead removed by sharing observation state (hub vs
+// reference) and by evaluating each frame once per config-group instead
+// of once per monitor (batch vs hub).
 //
-// The all-pairs variants put the full monitor-config grid on each of the
-// 4 neighbors of a dense 3x3 grid's center (the
-// bench/fig_allpairs_monitoring.cpp workload; Arg = configs per node, so
-// Arg=12 is 48 monitors); the single-monitor variants show the hub's
-// overhead when nothing is shared.
-#include <benchmark/benchmark.h>
+// The allpairs_* cases put the full monitor-config grid on each of the 4
+// neighbors of a dense 3x3 grid's center (the
+// bench/fig_allpairs_monitoring.cpp workload; the trailing number is
+// configs per node, so allpairs_batch_12 is 48 monitors); the single_*
+// cases show the per-lane indirection cost when nothing is shared.
+#include <cstdint>
+#include <string>
 
 #include "detect/experiment.hpp"
+#include "micro_common.hpp"
 
 namespace {
 
@@ -22,7 +25,8 @@ using namespace manet;
 
 // `monitor_configs` is a (sample size x margin) grid, the kind of
 // parameter sweep the fig benches run side by side on one simulation.
-detect::MultiDetectionConfig workload(bool all_pairs, bool share_hub,
+detect::MultiDetectionConfig workload(bool all_pairs,
+                                      detect::PipelineImpl pipeline,
                                       std::size_t monitor_configs) {
   detect::MultiDetectionConfig cfg;
   cfg.scenario.grid_rows = 3;  // one contention domain around the center
@@ -33,7 +37,7 @@ detect::MultiDetectionConfig workload(bool all_pairs, bool share_hub,
   cfg.rate_pps = 40.0;
   cfg.pm = 50.0;
   cfg.all_pairs = all_pairs;
-  cfg.share_hub = share_hub;
+  cfg.pipeline = pipeline;
   const std::size_t sample_sizes[] = {10, 25, 50, 100};
   for (std::size_t i = 0; i < monitor_configs; ++i) {
     detect::MonitorConfig m;
@@ -46,57 +50,64 @@ detect::MultiDetectionConfig workload(bool all_pairs, bool share_hub,
   return cfg;
 }
 
-void run_workload(benchmark::State& state, bool all_pairs, bool share_hub,
-                  std::size_t monitor_configs) {
-  const auto cfg = workload(all_pairs, share_hub, monitor_configs);
-  double sim_seconds = 0.0;
+void run_workload(bench::MicroHarness& h, const std::string& name,
+                  bool all_pairs, detect::PipelineImpl pipeline,
+                  std::size_t monitor_configs, std::size_t base_reps) {
+  if (!h.enabled(name)) return;
+  const auto cfg = workload(all_pairs, pipeline, monitor_configs);
+  const std::size_t reps = h.reps(base_reps);
   std::uint64_t windows = 0;
   std::uint64_t monitor_nodes = 0;
-  for (auto _ : state) {
-    const auto result = detect::run_multi_detection_experiment(cfg);
-    sim_seconds += cfg.scenario.sim_seconds;
-    for (const auto& r : result.per_config) windows += r.windows;
-    monitor_nodes = result.monitor_nodes;
-    benchmark::DoNotOptimize(result.per_config.front().flagged);
-  }
-  state.counters["sim_s_per_s"] =
-      benchmark::Counter(sim_seconds, benchmark::Counter::kIsRate);
-  state.counters["monitors"] =
-      static_cast<double>(monitor_nodes * monitor_configs);
-  state.counters["windows"] = static_cast<double>(windows) /
-                              static_cast<double>(state.iterations());
+  h.run_case(
+      name,
+      [&] {
+        for (std::size_t i = 0; i < reps; ++i) {
+          const auto result = detect::run_multi_detection_experiment(cfg);
+          windows = 0;
+          for (const auto& r : result.per_config) windows += r.windows;
+          monitor_nodes = result.monitor_nodes;
+          bench::keep(result.per_config.front().flagged);
+        }
+        return static_cast<std::uint64_t>(reps);
+      },
+      [&](exp::Record& rec) {
+        rec.add("sim_seconds", cfg.scenario.sim_seconds)
+            .add("monitors", monitor_nodes * monitor_configs)
+            .add("windows", windows);
+      });
 }
-
-// Arg = monitor configurations per monitoring node; 4 neighbors watch
-// the tagged center, so Arg=4 is 16 monitors and Arg=12 is 48.
-void BM_AllPairsMonitoringHub(benchmark::State& state) {
-  run_workload(state, /*all_pairs=*/true, /*share_hub=*/true,
-               static_cast<std::size_t>(state.range(0)));
-}
-BENCHMARK(BM_AllPairsMonitoringHub)
-    ->Arg(4)->Arg(12)->Unit(benchmark::kMillisecond);
-
-// Same monitors, each with private ring/density/ARMA state — the pre-hub
-// pipeline and the denominator of perf_pr5.sh's speedup.
-void BM_AllPairsMonitoringReference(benchmark::State& state) {
-  run_workload(state, /*all_pairs=*/true, /*share_hub=*/false,
-               static_cast<std::size_t>(state.range(0)));
-}
-BENCHMARK(BM_AllPairsMonitoringReference)
-    ->Arg(4)->Arg(12)->Unit(benchmark::kMillisecond);
-
-// One monitoring node, one config: nothing to share; measures that the
-// hub indirection itself costs nothing noticeable.
-void BM_SingleMonitorHub(benchmark::State& state) {
-  run_workload(state, /*all_pairs=*/false, /*share_hub=*/true, 1);
-}
-BENCHMARK(BM_SingleMonitorHub)->Unit(benchmark::kMillisecond);
-
-void BM_SingleMonitorReference(benchmark::State& state) {
-  run_workload(state, /*all_pairs=*/false, /*share_hub=*/false, 1);
-}
-BENCHMARK(BM_SingleMonitorReference)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::MicroHarness h(
+      "micro_monitor",
+      "Full detection-pipeline simulations on a dense 3x3 grid: batched "
+      "SoA lanes vs per-view hub vs private-per-monitor reference, "
+      "all-pairs (4 monitoring nodes x N configs) and single-monitor.",
+      argc, argv);
+
+  struct Impl {
+    const char* name;
+    detect::PipelineImpl impl;
+  };
+  const Impl impls[] = {{"batch", detect::PipelineImpl::kBatch},
+                        {"hub", detect::PipelineImpl::kHub},
+                        {"reference", detect::PipelineImpl::kReference}};
+
+  // The trailing number is monitor configurations per monitoring node; 4
+  // neighbors watch the tagged center, so _4 is 16 monitors and _12 is 48.
+  for (const Impl& impl : impls) {
+    for (std::size_t configs : {4u, 12u}) {
+      run_workload(h,
+                   "allpairs_" + std::string(impl.name) + "_" +
+                       std::to_string(configs),
+                   /*all_pairs=*/true, impl.impl, configs, /*base_reps=*/2);
+    }
+  }
+  for (const Impl& impl : impls) {
+    run_workload(h, "single_" + std::string(impl.name), /*all_pairs=*/false,
+                 impl.impl, 1, /*base_reps=*/3);
+  }
+  return 0;
+}

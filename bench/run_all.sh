@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs every figure/ablation bench with its --json sink enabled and merges
-# the per-bench JSON arrays into one BENCH_PR7.json object:
+# the per-bench JSON arrays into one BENCH_PR8.json object:
 #
 #   { "fig3_cond_prob_grid": [ {...}, ... ], "fig5_detection_static": [...] }
 #
@@ -20,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 build_dir=${1:-build-bench}
-out_json=${2:-BENCH_PR7.json}
+out_json=${2:-BENCH_PR8.json}
 threads=${THREADS:-0}
 
 if [[ ! -d "$build_dir/bench" ]]; then
@@ -33,8 +33,9 @@ work_dir=$(mktemp -d)
 trap 'rm -rf "$work_dir"' EXIT
 export MANET_RATE_CACHE=${MANET_RATE_CACHE:-$work_dir/rates.cache}
 
-# Sweep benches wired into the experiment engine (all accept --json and,
-# except extension_multihop, --threads).
+# Sweep and micro benches on the standard exp sink (all accept --json;
+# all accept --threads except the entries in no_threads below — the
+# MicroHarness micros time single-threaded case bodies by design).
 default_benches=(
   fig3_cond_prob_grid
   fig4_cond_prob_random
@@ -51,16 +52,11 @@ default_benches=(
   ablation_prs_value
   motivation_starvation
   extension_multihop
-)
-
-# google-benchmark micro benches (no --json/--threads; they emit
-# --benchmark_format=json arrays merged under their own keys).
-default_micro_benches=(
   micro_wilcoxon
   micro_monitor
   micro_ingest
 )
-read -r -a micro_benches <<< "${MICRO_BENCHES:-${default_micro_benches[*]}}"
+no_threads=(extension_multihop micro_wilcoxon micro_monitor micro_ingest)
 read -r -a benches <<< "${BENCHES:-${default_benches[*]}}"
 
 for bench in "${benches[@]}"; do
@@ -71,7 +67,7 @@ for bench in "${benches[@]}"; do
   fi
   echo "## $bench"
   flags=(--json="$work_dir/$bench.json")
-  if [[ "$bench" != extension_multihop ]]; then
+  if [[ ! " ${no_threads[*]} " == *" $bench "* ]]; then
     flags+=(--threads="$threads")
   fi
   # extension_multihop exits 1 on a degraded verdict; still collect its
@@ -79,22 +75,11 @@ for bench in "${benches[@]}"; do
   "$bin" "${flags[@]}" ${EXTRA_FLAGS:-} || echo "## $bench exited non-zero" >&2
 done
 
-for bench in "${micro_benches[@]}"; do
-  bin="$build_dir/bench/$bench"
-  if [[ ! -x "$bin" ]]; then
-    echo "## skipping $bench (not built)" >&2
-    continue
-  fi
-  echo "## $bench"
-  "$bin" --benchmark_format=json >"$work_dir/$bench.json" 2>/dev/null \
-    || echo "## $bench exited non-zero" >&2
-done
-
 # Merge the per-bench arrays into one top-level object.
 {
   echo "{"
   first=1
-  for bench in "${benches[@]}" "${micro_benches[@]}"; do
+  for bench in "${benches[@]}"; do
     f="$work_dir/$bench.json"
     [[ -s "$f" ]] || continue
     [[ $first -eq 1 ]] || echo ","

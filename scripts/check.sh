@@ -14,6 +14,15 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo "== ASan + UBSan build =="
+# A build-asan dir configured without sanitizers (e.g. a copied plain build)
+# would silently run the entire "sanitized" suite uninstrumented. Refuse it.
+if [[ -f build-asan/CMakeCache.txt ]] && \
+   ! grep -q '^MANET_SANITIZE:BOOL=ON' build-asan/CMakeCache.txt; then
+  echo "error: build-asan exists but was not configured with -DMANET_SANITIZE=ON" >&2
+  echo "       (stale or non-sanitized cache — remove it and re-run:" >&2
+  echo "        rm -rf build-asan && scripts/check.sh)" >&2
+  exit 1
+fi
 cmake -B build-asan -S . -DMANET_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
@@ -55,22 +64,29 @@ echo "== perf smoke (ASan + UBSan) =="
     --benchmark_filter='BM_ScheduleAndPop/1024|BM_CancelChurnSteadyState' >/dev/null
 
 echo "== detection pipeline smoke (ASan + UBSan) =="
-# The shared-ObservationHub pipeline must match the private-per-monitor
-# reference (--monitor_impl=reference) bit for bit on the all-pairs
-# workload, serially and across the engine's workers.
+# The batched SoA pipeline (the default) must match the per-view hub
+# pipeline and the private-per-monitor reference bit for bit on the
+# all-pairs workload, serially and across the engine's workers. (This is
+# the quick sanitized gate; bench/perf_pr8.sh is the full measurement
+# flow — degree-8 headline, all artifacts, BENCH_PR8.json.)
 ap_flags=(--loads=0.6 --pms=0,50 --sim_time=20 --runs=2)
 ./build-asan/bench/fig_allpairs_monitoring "${ap_flags[@]}" --threads=1 \
-    --monitor_impl=hub --json="$smoke_dir/ap_hub_t1.json" >/dev/null
+    --monitor_impl=batch --json="$smoke_dir/ap_batch_t1.json" >/dev/null
 ./build-asan/bench/fig_allpairs_monitoring "${ap_flags[@]}" --threads=4 \
-    --monitor_impl=hub --json="$smoke_dir/ap_hub_t4.json" >/dev/null
+    --monitor_impl=batch --json="$smoke_dir/ap_batch_t4.json" >/dev/null
+./build-asan/bench/fig_allpairs_monitoring "${ap_flags[@]}" --threads=1 \
+    --monitor_impl=hub --json="$smoke_dir/ap_hub_t1.json" >/dev/null
 ./build-asan/bench/fig_allpairs_monitoring "${ap_flags[@]}" --threads=1 \
     --monitor_impl=reference --json="$smoke_dir/ap_ref_t1.json" >/dev/null
-diff <(strip_timing "$smoke_dir/ap_hub_t1.json") \
-     <(strip_timing "$smoke_dir/ap_hub_t4.json") \
-  || { echo "all-pairs hub output differs across thread counts"; exit 1; }
-diff <(strip_timing "$smoke_dir/ap_hub_t1.json") \
+diff <(strip_timing "$smoke_dir/ap_batch_t1.json") \
+     <(strip_timing "$smoke_dir/ap_batch_t4.json") \
+  || { echo "all-pairs batch output differs across thread counts"; exit 1; }
+diff <(strip_timing "$smoke_dir/ap_batch_t1.json") \
+     <(strip_timing "$smoke_dir/ap_hub_t1.json") \
+  || { echo "all-pairs batch output differs from hub pipeline"; exit 1; }
+diff <(strip_timing "$smoke_dir/ap_batch_t1.json") \
      <(strip_timing "$smoke_dir/ap_ref_t1.json") \
-  || { echo "all-pairs hub output differs from reference pipeline"; exit 1; }
+  || { echo "all-pairs batch output differs from reference pipeline"; exit 1; }
 echo "== adversary zoo / ROC harness smoke (ASan + UBSan) =="
 # Every v2 attacker (colluding schedule, adaptive probation, sybil alias
 # plumbing, RTS flooder + gap bound) exercised under the sanitizers, and
@@ -87,14 +103,11 @@ diff <(strip_timing "$smoke_dir/roc_t1.json") \
      <(strip_timing "$smoke_dir/roc_t4.json") \
   || { echo "ROC harness output differs across thread counts"; exit 1; }
 
-# Fixed-iteration pass over the detection micro benches: the hub dispatch,
-# window-accounting memo, and scratch-reusing Wilcoxon under the sanitizers.
-./build-asan/bench/micro_monitor \
-    --benchmark_min_time=0 \
-    --benchmark_filter='BM_AllPairsMonitoringHub/4|BM_SingleMonitorHub' >/dev/null
-./build-asan/bench/micro_wilcoxon \
-    --benchmark_min_time=0 \
-    --benchmark_filter='BM_WilcoxonExact/10|BM_WilcoxonApprox/50' >/dev/null
+# Short pass over the detection micro benches: the batched lane dispatch,
+# window-accounting memo, and batched/scalar Wilcoxon under the sanitizers.
+./build-asan/bench/micro_monitor --filter=allpairs_batch_4 --reps=0.5 \
+    >/dev/null
+./build-asan/bench/micro_wilcoxon --filter=_n10 --reps=0.02 >/dev/null
 
 echo "== trace record/replay equivalence (ASan + UBSan) =="
 # The streaming detection path: record a live run (static + mobile-handoff,
@@ -119,11 +132,9 @@ diff "$smoke_dir/live_static.txt" "$smoke_dir/replay_static.txt" \
 diff "$smoke_dir/live_mobile.txt" "$smoke_dir/replay_mobile.txt" \
   || { echo "mobile-handoff replay differs from the live run"; exit 1; }
 
-# Fixed-iteration pass over the trace codec and replay ingest loop (CRC
-# framing, event decode, hub consume) under the sanitizers.
+# Short pass over the trace codec and replay ingest loop (CRC framing,
+# event decode, batched hub consume) under the sanitizers.
 ./build-asan/bench/micro_ingest \
-    --benchmark_min_time=0 \
-    --benchmark_filter='BM_TraceDecode|BM_ReplayIngestWilcoxon|BM_ReplayIngestCusum' \
-    >/dev/null
+    --filter=replay_batch_wilcoxon --reps=0.1 >/dev/null
 
 echo "All checks passed."

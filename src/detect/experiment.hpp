@@ -155,12 +155,15 @@ struct MultiDetectionConfig {
   /// Incompatible with mobile_handoff (the handoff protocol assumes a
   /// single monitoring role to move around).
   bool all_pairs = false;
-  /// Share one ObservationHub among a node's monitors (the optimized
-  /// pipeline). false gives every monitor a private hub — structurally the
-  /// pre-hub pipeline — and is the reference for equivalence tests and
-  /// the perf baseline for bench/perf_pr5.sh. Results are bit-identical
-  /// either way.
-  bool share_hub = true;
+  /// Which detection pipeline runs the monitor set (results are
+  /// bit-identical across all three):
+  ///  * kBatch (default) — one MonitorBatch per monitoring node: monitors
+  ///    are SoA lanes grouped by shared config over one ObservationHub.
+  ///  * kHub — every monitor is its own HubView over one shared
+  ///    ObservationHub per node (the PR 5 pipeline).
+  ///  * kReference — every monitor owns a private hub: structurally the
+  ///    pre-hub pipeline, the equivalence oracle and perf baseline.
+  PipelineImpl pipeline = PipelineImpl::kBatch;
   /// Fill DetectionResult::window_log (off by default: sweeps only need
   /// the aggregate counters).
   bool collect_windows = false;

@@ -3,9 +3,28 @@
 #include <cmath>
 #include <numbers>
 
+#include "detect/monitor_batch.hpp"
+#include "util/config.hpp"
 #include "util/stats.hpp"
 
 namespace manet::detect {
+
+PipelineImpl pipeline_from_name(const std::string& name) {
+  if (name == "batch") return PipelineImpl::kBatch;
+  if (name == "hub") return PipelineImpl::kHub;
+  if (name == "reference") return PipelineImpl::kReference;
+  throw util::ConfigError("'" + name +
+                          "' is not a pipeline (batch, hub, reference)");
+}
+
+const char* pipeline_name(PipelineImpl impl) {
+  switch (impl) {
+    case PipelineImpl::kReference: return "reference";
+    case PipelineImpl::kHub: return "hub";
+    case PipelineImpl::kBatch: return "batch";
+  }
+  return "?";
+}
 
 Monitor::Monitor(ObservationHub& hub, NodeId tagged, const MonitorConfig& config)
     : hub_(hub),
@@ -29,22 +48,35 @@ Monitor::Monitor(std::unique_ptr<ObservationHub> owned, NodeId tagged,
   owned_hub_ = std::move(owned);
 }
 
-// The deprecated shim must call the ctor it replaces without tripping its
-// own deprecation warning.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-Monitor::Monitor(sim::Simulator& simulator, mac::DcfMac& monitor_mac,
-                 phy::CsTimeline& timeline, NodeId tagged,
-                 const MonitorConfig& config)
-    : Monitor(std::make_unique<ObservationHub>(simulator, monitor_mac, timeline),
-              tagged, config) {}
-#pragma GCC diagnostic pop
+Monitor::Monitor(MonitorBatch& batch, NodeId tagged, const MonitorConfig& config)
+    : hub_(batch.hub()),
+      sim_(batch.hub().simulator()),
+      timeline_(batch.hub().timeline()),
+      tagged_(tagged),
+      config_(config),
+      batch_(&batch),
+      lane_(batch.add_lane(tagged, config)),
+      tagged_prs_(tagged, batch.hub().params()),
+      model_(geom::RegionModel(config.separation_m, config.sensing_range_m)),
+      // Borrow the lane's group components so the inline diagnostics
+      // accessors (decoded_retained, traffic_intensity, current_state)
+      // read the exact state the batch evaluates with. The facade never
+      // attaches to the hub — the group is the HubView.
+      ring_(&batch.lane_ring(lane_)),
+      arma_(&batch.lane_tracker(lane_)),
+      density_(&batch.lane_density(lane_)) {}
 
-Monitor::~Monitor() { hub_.detach(this); }
+Monitor::~Monitor() {
+  if (!batch_) hub_.detach(this);
+}
 
 void Monitor::set_active(bool active) {
   if (active == active_) return;
   active_ = active;
+  if (batch_) {
+    batch_->set_lane_active(lane_, active);
+    return;
+  }
   if (active_) {
     // Fresh start: discard the partial window and the stale anchor.
     xs_.clear();
@@ -83,10 +115,23 @@ void accumulate_stats(MonitorStats& into, const MonitorStats& from) {
   }
 }
 
+const MonitorStats& Monitor::stats() const {
+  return batch_ ? batch_->lane_stats(lane_) : stats_;
+}
+
+const std::vector<WindowResult>& Monitor::windows() const {
+  return batch_ ? batch_->lane_windows(lane_) : windows_;
+}
+
+const std::vector<Monitor::SampleRecord>& Monitor::sample_log() const {
+  return batch_ ? batch_->lane_samples(lane_) : sample_log_;
+}
+
 double Monitor::flag_rate() const {
-  if (stats_.windows == 0) return 0.0;
-  return static_cast<double>(stats_.flagged_windows) /
-         static_cast<double>(stats_.windows);
+  const MonitorStats& st = stats();
+  if (st.windows == 0) return 0.0;
+  return static_cast<double>(st.flagged_windows) /
+         static_cast<double>(st.windows);
 }
 
 SystemStateParams Monitor::current_state() const {
@@ -436,6 +481,14 @@ void Monitor::close_window() {
   xs_.clear();
   ys_.clear();
   window_deterministic_flag_ = false;
+}
+
+std::unique_ptr<Monitor> MonitorFactory::watch(NodeId tagged) const {
+  if (batch_) return std::make_unique<Monitor>(*batch_, tagged, config_);
+  if (hub_) return std::make_unique<Monitor>(*hub_, tagged, config_);
+  auto owned = std::make_unique<ObservationHub>(*sim_, *mac_, *timeline_);
+  return std::unique_ptr<Monitor>(
+      new Monitor(std::move(owned), tagged, config_));
 }
 
 void Monitor::record_window(const WindowResult& result, bool single_shot) {

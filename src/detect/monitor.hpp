@@ -29,13 +29,15 @@
 // Monitors are views over a per-node ObservationHub: the decoded-frame
 // ring, density estimator, and ARMA tracker live in the hub and are shared
 // by every monitor on the node whose config knobs match (see
-// observation_hub.hpp for the exact sharing rules). The legacy standalone
-// constructor creates a private hub, preserving the old interface.
+// observation_hub.hpp for the exact sharing rules). In the batched layout
+// (monitor_batch.hpp, the default pipeline) a Monitor is a thin facade
+// over a MonitorBatch lane; MonitorFactory picks the layout.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -50,6 +52,23 @@
 #include "util/types.hpp"
 
 namespace manet::detect {
+
+class MonitorBatch;  // detect/monitor_batch.hpp
+
+/// Detection pipeline layouts the harnesses can run. All three produce
+/// bit-identical results (perf_pr8.sh byte-diffs the artifacts):
+///  * kBatch — monitors are lanes of a per-node MonitorBatch: one
+///    evaluation per (node, tagged, config-group), SoA fan-out, batched
+///    statistics (monitor_batch.hpp). The default.
+///  * kHub — every monitor is its own HubView over the node's shared
+///    ObservationHub (the PR-5 pipeline).
+///  * kReference — every monitor owns a private hub: structurally the
+///    pre-hub pipeline, the equivalence oracle and perf baseline.
+enum class PipelineImpl : std::uint8_t { kReference, kHub, kBatch };
+
+/// Parse "batch" / "hub" / "reference" (throws util::ConfigError).
+PipelineImpl pipeline_from_name(const std::string& name);
+const char* pipeline_name(PipelineImpl impl);
 
 struct MonitorConfig {
   std::size_t sample_size = 10;    // Wilcoxon window (paper: 10/25/50/100)
@@ -234,14 +253,14 @@ void accumulate_stats(MonitorStats& into, const MonitorStats& from);
 class Monitor : public HubView {
  public:
   /// Attaches as a view of `hub` (the hub's node is R). `tagged` is S.
-  /// Prefer MonitorFactory, which also covers the private-hub layout.
+  /// Prefer MonitorFactory, which also covers the other layouts.
   Monitor(ObservationHub& hub, NodeId tagged, const MonitorConfig& config);
 
-  /// Legacy standalone form: creates a private ObservationHub over the
-  /// node's MAC/timeline.
-  [[deprecated("use MonitorFactory(simulator, mac, timeline).watch(tagged)")]]
-  Monitor(sim::Simulator& simulator, mac::DcfMac& monitor_mac,
-          phy::CsTimeline& timeline, NodeId tagged, const MonitorConfig& config);
+  /// Batched facade: registers a lane in `batch` and delegates all state
+  /// to it. The Monitor itself never attaches to the hub (the lane's
+  /// config-group is the HubView); stats()/windows()/sample_log() read
+  /// the lane's SoA slots, so callers cannot tell the layouts apart.
+  Monitor(MonitorBatch& batch, NodeId tagged, const MonitorConfig& config);
 
   ~Monitor() override;
 
@@ -255,8 +274,8 @@ class Monitor : public HubView {
   void set_active(bool active);
   bool active() const { return active_; }
 
-  const MonitorStats& stats() const { return stats_; }
-  const std::vector<WindowResult>& windows() const { return windows_; }
+  const MonitorStats& stats() const;
+  const std::vector<WindowResult>& windows() const;
 
   /// One recorded sample with its window decomposition (diagnostics).
   struct SampleRecord {
@@ -270,7 +289,7 @@ class Monitor : public HubView {
   };
 
   /// All samples (only when config.record_samples).
-  const std::vector<SampleRecord>& sample_log() const { return sample_log_; }
+  const std::vector<SampleRecord>& sample_log() const;
 
   /// Decoded-frame history currently retained by this monitor's ring
   /// (memory diagnostics; bounded by config.max_decoded_frames).
@@ -323,6 +342,12 @@ class Monitor : public HubView {
   NodeId tagged_;
   MonitorConfig config_;
 
+  // Batched facade (null in the view/standalone layouts): all mutable
+  // detection state lives in the batch's lane `lane_`; the members below
+  // stay at their defaults and the accessors branch on batch_.
+  MonitorBatch* batch_ = nullptr;
+  std::size_t lane_ = 0;
+
   mac::VerifiableBackoff tagged_prs_;
   SystemStateModel model_;
 
@@ -369,17 +394,19 @@ class Monitor : public HubView {
 /// Builder for monitors: one place to choose the observation layout and
 /// stamp out per-neighbor views with a shared config.
 ///
-///   * Shared-hub mode (the optimized pipeline): every watch() attaches a
-///     view to the given ObservationHub — live or replay, the factory does
-///     not care where the hub's events come from.
+///   * Batched mode (the default pipeline): every watch() registers a lane
+///     in the given MonitorBatch and returns a facade Monitor over it.
+///   * Shared-hub mode: every watch() attaches a view to the given
+///     ObservationHub — live or replay, the factory does not care where
+///     the hub's events come from.
 ///   * Standalone mode: every watch() owns a private ObservationHub over
 ///     the node's MAC/timeline — structurally the pre-hub pipeline, kept
 ///     as the equivalence-test reference and perf baseline.
-///
-/// Replaces the legacy 5-argument Monitor constructor and the ad-hoc
-/// share_hub branching the experiment harness used to do inline.
 class MonitorFactory {
  public:
+  /// Batched mode: facade monitors over `batch`'s SoA lanes.
+  explicit MonitorFactory(MonitorBatch& batch) : batch_(&batch) {}
+
   /// Shared-hub mode: views over `hub`.
   explicit MonitorFactory(ObservationHub& hub) : hub_(&hub) {}
 
@@ -396,13 +423,7 @@ class MonitorFactory {
   const MonitorConfig& config() const { return config_; }
 
   /// Creates a monitor of `tagged` with the current config.
-  std::unique_ptr<Monitor> watch(NodeId tagged) const {
-    if (hub_) return std::make_unique<Monitor>(*hub_, tagged, config_);
-    auto owned =
-        std::make_unique<ObservationHub>(*sim_, *mac_, *timeline_);
-    return std::unique_ptr<Monitor>(
-        new Monitor(std::move(owned), tagged, config_));
-  }
+  std::unique_ptr<Monitor> watch(NodeId tagged) const;
 
   /// Convenience: watch() with a one-off config.
   std::unique_ptr<Monitor> watch(NodeId tagged, const MonitorConfig& config) {
@@ -411,6 +432,7 @@ class MonitorFactory {
   }
 
  private:
+  MonitorBatch* batch_ = nullptr;
   ObservationHub* hub_ = nullptr;
   sim::Simulator* sim_ = nullptr;
   mac::DcfMac* mac_ = nullptr;

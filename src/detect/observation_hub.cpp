@@ -17,7 +17,7 @@ ObservationHub::ObservationHub(sim::Simulator& simulator, mac::DcfMac& monitor_m
 
 void ObservationHub::attach(HubView* view) { views_.push_back(view); }
 
-void ObservationHub::detach(HubView* view) {
+void ObservationHub::detach(HubView* view) noexcept {
   std::erase(views_, view);
   for (auto& ring : rings_) std::erase(ring->holders_, view);
   for (auto& entry : densities_) std::erase(entry->holders, view);
@@ -150,8 +150,12 @@ void ObservationHub::FrameRing::record(const mac::Frame& frame, SimTime start,
   const SimTime horizon = end - retention_;
   while (!frames_.empty() && frames_.front().nav_until < horizon) {
     frames_.pop_front();
+    ++first_abs_;
   }
-  while (frames_.size() > max_frames_) frames_.pop_front();
+  while (frames_.size() > max_frames_) {
+    frames_.pop_front();
+    ++first_abs_;
+  }
   memo_valid_ = false;
 }
 
@@ -168,7 +172,20 @@ const WindowAccounting& ObservationHub::FrameRing::window_accounting(
   // tagged node (frames not from/to it), with the NAV-reset rule applied to
   // unanswered RTS reservations.
   blocked_.clear();
-  for (const DecodedFrame& f : frames_) {
+  // Window starts move monotonically forward (anchors are exchange ends),
+  // so resume the scan where the previous window's leading `continue` run
+  // ended: frames with nav_until <= the old start fail the new start too.
+  std::size_t begin = 0;
+  if (hint_valid_ && win_start >= hint_win_start_ && hint_abs_ > first_abs_) {
+    begin = static_cast<std::size_t>(hint_abs_ - first_abs_);
+    if (begin > frames_.size()) begin = frames_.size();
+  }
+  while (begin < frames_.size() && frames_[begin].nav_until <= win_start) ++begin;
+  hint_abs_ = first_abs_ + begin;
+  hint_win_start_ = win_start;
+  hint_valid_ = true;
+  for (std::size_t i = begin; i < frames_.size(); ++i) {
+    const DecodedFrame& f = frames_[i];
     if (f.nav_until <= win_start || f.start >= win_end) continue;
     blocked_.add(f.start, f.end);
     if (f.transmitter != tagged && f.receiver != tagged) {

@@ -42,6 +42,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -130,6 +131,17 @@ class ObservationHub : public mac::MacObserver {
     std::vector<const HubView*> holders_;
     std::deque<DecodedFrame> frames_;
 
+    // Monotone scan hint: window starts only move forward (anchors are
+    // exchange ends), so frames wholly before the previous window's start
+    // — exactly the entries the accounting loop would `continue` past —
+    // can be skipped next time. Tracked as an absolute frame index
+    // (first_abs_ counts every front prune) so record() needs no hint
+    // maintenance; a window that regresses falls back to a full scan.
+    std::uint64_t first_abs_ = 0;    // absolute index of frames_.front()
+    std::uint64_t hint_abs_ = 0;     // absolute index the last scan started at
+    SimTime hint_win_start_ = 0;
+    bool hint_valid_ = false;
+
     // Single-slot window memo + interval scratch (see window_accounting).
     bool memo_valid_ = false;
     SimTime memo_start_ = 0;
@@ -185,9 +197,10 @@ class ObservationHub : public mac::MacObserver {
 
   /// Views receive on_hub_frame in attach order (= pre-refactor observer
   /// registration order when monitors are created in the same sequence).
+  /// attach may allocate (and therefore throw); detach only erases.
   void attach(HubView* view);
   /// Also drops the view from every component's holder list.
-  void detach(HubView* view);
+  void detach(HubView* view) noexcept;
 
   /// Match-or-create accessors. A component is shared when its knobs AND
   /// the current sim time match an existing entry created by another

@@ -21,6 +21,7 @@
 
 #include "detect/experiment.hpp"
 #include "detect/monitor.hpp"
+#include "detect/monitor_batch.hpp"
 #include "detect/trace.hpp"
 #include "sim/simulator.hpp"
 
@@ -28,11 +29,16 @@ namespace manet::detect {
 
 /// One monitoring node's offline detection run: hub, timeline, and the
 /// monitor views (config-major, then target order — exactly the live
-/// harness's creation order).
+/// harness's creation order). `impl` picks the hub-backed pipeline:
+/// kBatch (default) lanes the monitors through one MonitorBatch, kHub
+/// attaches each as its own HubView; kReference (private hub per monitor)
+/// has no replay form — the session IS the one reconstructed hub — and
+/// throws std::invalid_argument.
 class ReplaySession {
  public:
   ReplaySession(const TraceHeader& header,
-                const std::vector<MonitorConfig>& monitors);
+                const std::vector<MonitorConfig>& monitors,
+                PipelineImpl impl = PipelineImpl::kBatch);
 
   /// Drains `source` through the hub. kActivity markers toggle every view
   /// (the recorded handoff suspends/resumes); other markers only advance
@@ -48,7 +54,10 @@ class ReplaySession {
   TraceHeader header_;
   sim::Simulator sim_;
   phy::CsTimeline timeline_;
+  // Declaration order is destruction contract: views (facades) first,
+  // then the batch (detaching its groups), then the hub.
   std::unique_ptr<ObservationHub> hub_;
+  std::unique_ptr<MonitorBatch> batch_;  // null under kHub
   std::vector<std::unique_ptr<Monitor>> views_;
 };
 

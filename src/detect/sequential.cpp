@@ -46,6 +46,52 @@ SequentialTest::Step SprtTest::update(double deficit) {
   return Step{false, score()};
 }
 
+std::size_t SequentialBank::add(DetectorKind kind, const CusumParams& cusum,
+                                const SprtParams& sprt) {
+  if (kind == DetectorKind::kWilcoxon) {
+    throw util::ConfigError("wilcoxon detectors have no sequential-bank slot");
+  }
+  const std::size_t slot = kind_.size();
+  kind_.push_back(kind);
+  state_.push_back(0.0);
+  if (kind == DetectorKind::kCusum) {
+    a_.push_back(cusum.drift);
+    b_.push_back(cusum.threshold);
+    upper_.push_back(0.0);
+    lower_.push_back(0.0);
+  } else {
+    // Same coefficient derivation as the SprtTest constructor.
+    const double var = sprt.sigma * sprt.sigma;
+    a_.push_back((sprt.mean_cheat - sprt.mean_honest) / var);
+    b_.push_back(0.5 * (sprt.mean_honest + sprt.mean_cheat));
+    upper_.push_back(std::log((1.0 - sprt.beta) / sprt.alpha));
+    lower_.push_back(std::log(sprt.beta / (1.0 - sprt.alpha)));
+  }
+  return slot;
+}
+
+SequentialBank::Step SequentialBank::update(std::size_t slot, double deficit) {
+  if (kind_[slot] == DetectorKind::kCusum) {
+    // Mirrors CusumTest::update — the compound `+=` keeps the FP grouping
+    // (s + (d - k)) identical to the scalar test.
+    double s = state_[slot];
+    s += deficit - a_[slot];
+    if (s < 0.0) s = 0.0;
+    state_[slot] = s;
+    return Step{s >= b_[slot], s};
+  }
+  // Mirrors SprtTest::update, including the restart-on-accept.
+  double llr = state_[slot];
+  llr += a_[slot] * (deficit - b_[slot]);
+  state_[slot] = llr;
+  if (llr >= upper_[slot]) return Step{true, llr > 0.0 ? llr : 0.0};
+  if (llr <= lower_[slot]) {
+    state_[slot] = 0.0;
+    llr = 0.0;
+  }
+  return Step{false, llr > 0.0 ? llr : 0.0};
+}
+
 std::unique_ptr<SequentialTest> make_sequential_test(DetectorKind kind,
                                                      const CusumParams& cusum,
                                                      const SprtParams& sprt) {

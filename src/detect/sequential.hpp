@@ -38,9 +38,11 @@
 // exactly like Wilcoxon p-values.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace manet::detect {
 
@@ -122,5 +124,43 @@ class SprtTest : public SequentialTest {
 /// (the batch path needs no per-sample state).
 std::unique_ptr<SequentialTest> make_sequential_test(
     DetectorKind kind, const CusumParams& cusum, const SprtParams& sprt);
+
+/// Struct-of-arrays bank of sequential detectors — the batched pipeline's
+/// replacement for one heap-allocated CusumTest/SprtTest per monitor. Each
+/// slot holds one detector's precomputed coefficients and running score in
+/// flat parallel arrays; update(slot, d) replicates the scalar tests'
+/// arithmetic operation-for-operation (same compound-assignment grouping),
+/// so a bank slot's Step stream is bit-identical to the SequentialTest it
+/// replaces. Slots are independent: update order across slots is
+/// unobservable.
+class SequentialBank {
+ public:
+  using Step = SequentialTest::Step;
+
+  /// Appends a detector slot and returns its index. kWilcoxon has no
+  /// per-sample state and is not a valid slot kind (throws
+  /// util::ConfigError).
+  std::size_t add(DetectorKind kind, const CusumParams& cusum,
+                  const SprtParams& sprt);
+
+  /// Absorbs one deficit sample into `slot` (CusumTest::update /
+  /// SprtTest::update semantics, including the SPRT restart-on-accept).
+  Step update(std::size_t slot, double deficit);
+
+  void reset(std::size_t slot) { state_[slot] = 0.0; }
+  /// The clamped running score (both scalar tests report max(score, 0)).
+  double score(std::size_t slot) const {
+    return state_[slot] > 0.0 ? state_[slot] : 0.0;
+  }
+  std::size_t size() const { return kind_.size(); }
+
+ private:
+  std::vector<DetectorKind> kind_;
+  std::vector<double> state_;  // CUSUM score / SPRT log-likelihood ratio
+  std::vector<double> a_;      // CUSUM drift / SPRT step gain
+  std::vector<double> b_;      // CUSUM threshold / SPRT step center
+  std::vector<double> upper_;  // SPRT accept-H1 bound (unused for CUSUM)
+  std::vector<double> lower_;  // SPRT accept-H0 bound (unused for CUSUM)
+};
 
 }  // namespace manet::detect

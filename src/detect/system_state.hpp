@@ -84,6 +84,14 @@ class SystemStateModel {
   /// evaluations within a window hit the single-slot cache, skipping the
   /// pow() calls. Keying on exact equality makes the memo lossless: a hit
   /// returns the identical doubles a fresh evaluation would produce.
+  ///
+  /// The batched pipeline (detect/monitor_batch.hpp) leans on the same
+  /// property in the other direction: monitors whose geometry/mapping/
+  /// density knobs agree share ONE model instance per config-group, so the
+  /// Eq. 1-5 evaluation runs once per (node, group) instead of once per
+  /// monitor — and because every lane would have fed identical params, the
+  /// shared memo returns the identical doubles each private model would
+  /// have computed.
   const ConditionalProbs& conditional_probs(const SystemStateParams& p) const;
 
   /// Eq. 1: sender-perspective idle slots from the monitor's (I, B).

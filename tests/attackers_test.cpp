@@ -239,14 +239,15 @@ TEST(AttackerExperiments, SameSeedSameTracePerAttacker) {
   }
 }
 
-TEST(AttackerExperiments, HubMatchesReferencePipelinePerAttacker) {
+TEST(AttackerExperiments, AllPipelinesMatchPerAttacker) {
   for (AttackerKind kind : kZooKinds) {
     auto cfg = zoo_config(kind, 23);
-    cfg.share_hub = true;
-    const auto hub = run_multi_detection_experiment(cfg);
-    cfg.share_hub = false;
+    cfg.pipeline = PipelineImpl::kReference;
     const auto ref = run_multi_detection_experiment(cfg);
-    expect_identical(hub, ref, kind);
+    cfg.pipeline = PipelineImpl::kHub;
+    expect_identical(run_multi_detection_experiment(cfg), ref, kind);
+    cfg.pipeline = PipelineImpl::kBatch;
+    expect_identical(run_multi_detection_experiment(cfg), ref, kind);
   }
 }
 

@@ -188,6 +188,36 @@ TEST(SystemState, MoreNeighborsRaiseBusyProbability) {
   EXPECT_GT(model.p_busy_given_idle(dense), model.p_busy_given_idle(sparse));
 }
 
+TEST(SystemState, SharedModelMemoMatchesPrivateModelsBitForBit) {
+  // The batched pipeline evaluates Eq. 1-5 through ONE model per
+  // config-group where the scalar pipeline owned one model per monitor.
+  // The memo keys on exact parameter equality, so interleaving several
+  // lanes' (identical or differing) parameter streams through a shared
+  // instance must return the identical doubles each private instance
+  // produces — hits and misses alike.
+  const geom::RegionModel regions(240, 550);
+  const SystemStateModel shared(regions);
+  const SystemStateModel private_a(regions);
+  const SystemStateModel private_b(regions);
+  for (double rho = 0.05; rho <= 0.9; rho += 0.07) {
+    auto pa = paper_params(rho, ActivityMapping::kPerSlot);
+    auto pb = paper_params(rho, ActivityMapping::kPerSlot);
+    pb.contenders = 8;  // lane B keys a different point at the same rho
+    for (int repeat = 0; repeat < 3; ++repeat) {  // memo hits on 2nd/3rd
+      const auto& sa = shared.conditional_probs(pa);
+      const auto& ra = private_a.conditional_probs(pa);
+      EXPECT_EQ(sa.p_busy_given_idle, ra.p_busy_given_idle);
+      EXPECT_EQ(sa.p_idle_given_busy, ra.p_idle_given_busy);
+      EXPECT_EQ(sa.p_idle_given_idle, ra.p_idle_given_idle);
+      const auto& sb = shared.conditional_probs(pb);
+      const auto& rb = private_b.conditional_probs(pb);
+      EXPECT_EQ(sb.p_busy_given_idle, rb.p_busy_given_idle);
+      EXPECT_EQ(sb.p_idle_given_busy, rb.p_idle_given_busy);
+      EXPECT_EQ(sb.p_idle_given_idle, rb.p_idle_given_idle);
+    }
+  }
+}
+
 // --- Wilcoxon rank sum ---------------------------------------------------------
 
 TEST(Wilcoxon, ExactExtremeSeparationSmallSample) {
@@ -347,6 +377,60 @@ TEST(Wilcoxon, ScratchReuseMatchesReferenceBitForBit) {
       EXPECT_EQ(fast.p_greater, ref.p_greater);
       EXPECT_EQ(fast.p_two_sided, ref.p_two_sided);
       EXPECT_EQ(fast.z, ref.z);
+    }
+  }
+}
+
+TEST(Wilcoxon, BatchMatchesScalarBitForBit) {
+  // wilcoxon_rank_sum_batch reorders evaluation (exact-DP items first,
+  // ascending size) and applies the margin shift into shared scratch, but
+  // each item is an independent test: results[i] must equal the scalar
+  // wilcoxon_rank_sum(x_i, y_i + shift_i) call it replaces, field for
+  // field, under heavy scratch reuse across mixed exact/approx sizes.
+  util::Xoshiro256ss rng(123);
+  WilcoxonScratch batch_scratch;
+  WilcoxonScratch scalar_scratch;
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t sizes[][2] = {{25, 25}, {3, 5},  {10, 10}, {1, 1},
+                                    {50, 50}, {7, 33}, {20, 20}};
+    std::vector<std::vector<double>> xs, ys;
+    std::vector<WilcoxonBatchItem> items;
+    std::vector<double> shifts;
+    for (const auto& s : sizes) {
+      std::vector<double> x, y;
+      const bool quantize = (round % 3) != 0;
+      for (std::size_t i = 0; i < s[0]; ++i) {
+        const double v = rng.uniform(0, 16);
+        x.push_back(quantize ? std::floor(v) : v);
+      }
+      for (std::size_t i = 0; i < s[1]; ++i) {
+        const double v = rng.uniform(0, 16) * 0.8;
+        y.push_back(quantize ? std::floor(v) : v);
+      }
+      xs.push_back(std::move(x));
+      ys.push_back(std::move(y));
+      shifts.push_back(rng.uniform(0, 0.25));
+    }
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      WilcoxonBatchItem item;
+      item.x = xs[i];
+      item.y = ys[i];
+      item.shift = shifts[i];
+      items.push_back(item);
+    }
+    std::vector<RankSumResult> results(items.size());
+    wilcoxon_rank_sum_batch(items, results, batch_scratch);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      std::vector<double> shifted(ys[i]);
+      for (double& v : shifted) v += shifts[i];
+      const auto ref =
+          wilcoxon_rank_sum(xs[i], shifted, WilcoxonOptions{}, scalar_scratch);
+      EXPECT_EQ(results[i].exact, ref.exact) << "item " << i;
+      EXPECT_EQ(results[i].w_y, ref.w_y) << "item " << i;
+      EXPECT_EQ(results[i].p_less, ref.p_less) << "item " << i;
+      EXPECT_EQ(results[i].p_greater, ref.p_greater) << "item " << i;
+      EXPECT_EQ(results[i].p_two_sided, ref.p_two_sided) << "item " << i;
+      EXPECT_EQ(results[i].z, ref.z) << "item " << i;
     }
   }
 }

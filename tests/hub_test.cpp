@@ -1,10 +1,12 @@
 // Equivalence and sharing tests for the per-node ObservationHub
-// (src/detect/observation_hub.*). The hub is a pure refactor plus
-// memoization: a monitor set sharing one hub must produce WindowResult
-// sequences and MonitorStats bit-identical to private per-monitor state
-// (MultiDetectionConfig::share_hub = false, structurally the pre-hub
-// pipeline), across static, mobile-handoff, lossy, and all-pairs
-// scenarios and across seeds.
+// (src/detect/observation_hub.*) and the batched SoA pipeline
+// (src/detect/monitor_batch.*). Both are pure refactors plus
+// memoization: a monitor set running as batch lanes or as shared-hub
+// views must produce WindowResult sequences and MonitorStats
+// bit-identical to private per-monitor state
+// (MultiDetectionConfig::pipeline = kReference, structurally the pre-hub
+// pipeline), across static, mobile-handoff, lossy, all-pairs, and
+// sybil multi-identity scenarios and across seeds.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -13,6 +15,7 @@
 
 #include "detect/experiment.hpp"
 #include "detect/monitor.hpp"
+#include "detect/monitor_batch.hpp"
 #include "detect/observation_hub.hpp"
 #include "mac/dcf.hpp"
 #include "phy/channel.hpp"
@@ -49,32 +52,40 @@ MultiDetectionConfig base_config(double seconds, std::uint64_t seed) {
   return cfg;
 }
 
-/// Runs `cfg` with the shared hub and with private per-monitor hubs and
-/// asserts every deterministic output matches exactly.
-void expect_hub_matches_reference(MultiDetectionConfig cfg) {
-  cfg.collect_windows = true;
-  cfg.share_hub = true;
-  const auto hub = run_multi_detection_experiment(cfg);
-  cfg.share_hub = false;
-  const auto ref = run_multi_detection_experiment(cfg);
-
-  EXPECT_EQ(hub.measured_rho, ref.measured_rho);
-  EXPECT_EQ(hub.handoffs, ref.handoffs);
-  EXPECT_EQ(hub.monitor_nodes, ref.monitor_nodes);
-  ASSERT_EQ(hub.per_config.size(), ref.per_config.size());
-  for (std::size_t i = 0; i < hub.per_config.size(); ++i) {
-    const auto& h = hub.per_config[i];
+void expect_identical_results(const MultiDetectionResult& got,
+                              const MultiDetectionResult& ref,
+                              const char* impl) {
+  EXPECT_EQ(got.measured_rho, ref.measured_rho) << impl;
+  EXPECT_EQ(got.handoffs, ref.handoffs) << impl;
+  EXPECT_EQ(got.monitor_nodes, ref.monitor_nodes) << impl;
+  ASSERT_EQ(got.per_config.size(), ref.per_config.size()) << impl;
+  for (std::size_t i = 0; i < got.per_config.size(); ++i) {
+    const auto& g = got.per_config[i];
     const auto& r = ref.per_config[i];
-    EXPECT_EQ(h.windows, r.windows) << "config " << i;
-    EXPECT_EQ(h.flagged, r.flagged) << "config " << i;
-    EXPECT_EQ(h.flagged_statistical, r.flagged_statistical) << "config " << i;
-    EXPECT_EQ(h.stats, r.stats) << "config " << i;
-    ASSERT_EQ(h.window_log.size(), r.window_log.size()) << "config " << i;
-    for (std::size_t w = 0; w < h.window_log.size(); ++w) {
-      EXPECT_EQ(h.window_log[w], r.window_log[w])
-          << "config " << i << " window " << w;
+    EXPECT_EQ(g.windows, r.windows) << impl << " config " << i;
+    EXPECT_EQ(g.flagged, r.flagged) << impl << " config " << i;
+    EXPECT_EQ(g.flagged_statistical, r.flagged_statistical)
+        << impl << " config " << i;
+    EXPECT_EQ(g.stats, r.stats) << impl << " config " << i;
+    ASSERT_EQ(g.window_log.size(), r.window_log.size()) << impl << " config " << i;
+    for (std::size_t w = 0; w < g.window_log.size(); ++w) {
+      EXPECT_EQ(g.window_log[w], r.window_log[w])
+          << impl << " config " << i << " window " << w;
     }
   }
+}
+
+/// Runs `cfg` under all three pipelines (batch lanes, per-monitor hub
+/// views, private per-monitor hubs) and asserts every deterministic
+/// output matches the reference exactly.
+void expect_hub_matches_reference(MultiDetectionConfig cfg) {
+  cfg.collect_windows = true;
+  cfg.pipeline = PipelineImpl::kReference;
+  const auto ref = run_multi_detection_experiment(cfg);
+  cfg.pipeline = PipelineImpl::kHub;
+  expect_identical_results(run_multi_detection_experiment(cfg), ref, "hub");
+  cfg.pipeline = PipelineImpl::kBatch;
+  expect_identical_results(run_multi_detection_experiment(cfg), ref, "batch");
 }
 
 TEST(HubEquivalence, StaticGridBitIdenticalAcrossSeeds) {
@@ -112,11 +123,35 @@ TEST(HubEquivalence, AllPairsBitIdenticalAndCountsNodes) {
   cfg.all_pairs = true;
   expect_hub_matches_reference(cfg);
 
-  cfg.share_hub = true;
+  cfg.pipeline = PipelineImpl::kBatch;
   const auto result = run_multi_detection_experiment(cfg);
   // The 3x4 grid center has in-range orthogonal neighbors on all sides.
   EXPECT_GE(result.monitor_nodes, 3u);
   EXPECT_GT(result.per_config[0].windows, 0u);
+}
+
+TEST(HubEquivalence, SybilMultiIdentityBitIdentical) {
+  // Sybil attackers spread violations across fake identities, so the
+  // harness monitors several targets per node — under kBatch each target
+  // is its own config-group; the fan-out bookkeeping must not leak
+  // between identities.
+  MultiDetectionConfig cfg = base_config(30, 29);
+  cfg.pm = 0;
+  cfg.attacker.kind = AttackerKind::kSybil;
+  cfg.attacker.pm = 60.0;
+  expect_hub_matches_reference(cfg);
+}
+
+TEST(HubEquivalence, SequentialDetectorsBitIdentical) {
+  // CUSUM/SPRT lanes run through the batched SequentialBank; their Step
+  // streams must match the per-monitor CusumTest/SprtTest bit for bit.
+  MultiDetectionConfig cfg = base_config(30, 53);
+  MonitorConfig cusum = small_monitor(10);
+  cusum.detector = DetectorKind::kCusum;
+  MonitorConfig sprt = small_monitor(10);
+  sprt.detector = DetectorKind::kSprt;
+  cfg.monitors = {small_monitor(10), cusum, sprt};
+  expect_hub_matches_reference(cfg);
 }
 
 TEST(Hub, AllPairsRejectsMobileHandoff) {
@@ -212,18 +247,6 @@ TEST(Hub, DetachReleasesViews) {
   EXPECT_EQ(f.hub.view_count(), 0u);
 }
 
-TEST(Hub, LegacyMonitorCtorOwnsPrivateHub) {
-  // The deprecated pre-factory constructor signature still works and
-  // behaves like a monitor with a private hub.
-  HubFixture f;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Monitor m(f.sim, f.mac, f.timeline, 0, small_monitor());
-#pragma GCC diagnostic pop
-  EXPECT_EQ(m.hub().view_count(), 1u);
-  EXPECT_NE(&m.hub(), &f.hub);
-}
-
 TEST(Hub, FactoryStandaloneMatchesLegacyLayout) {
   HubFixture f;
   const auto m = MonitorFactory(f.sim, f.mac, f.timeline).watch(0, small_monitor());
@@ -242,6 +265,77 @@ TEST(Hub, FactorySharedModeStampsViews) {
   const auto b = factory.watch(0, other);
   EXPECT_EQ(f.hub.view_count(), 2u);
   EXPECT_EQ(f.hub.ring_count(), 1u);  // knobs equal -> shared ring
+}
+
+// --- Batch config-grouping --------------------------------------------------
+
+TEST(MonitorBatch, LanesDifferingOnlyInTestKnobsShareAGroup) {
+  // sample_size / alpha / margin / detector / record_samples are per-lane
+  // SoA fields; lanes agreeing on everything else collapse into one group
+  // (= one hub view, one shared evaluation pass per frame).
+  HubFixture f;
+  MonitorBatch batch(f.hub);
+  MonitorFactory factory(batch);
+  const auto a = factory.watch(0, small_monitor(10));
+  MonitorConfig b_cfg = small_monitor(25);
+  b_cfg.alpha = 0.01;
+  b_cfg.margin_fraction = 0.2;
+  b_cfg.record_samples = true;
+  const auto b = factory.watch(0, b_cfg);
+  MonitorConfig c_cfg = small_monitor(10);
+  c_cfg.detector = DetectorKind::kCusum;
+  const auto c = factory.watch(0, c_cfg);
+
+  EXPECT_EQ(batch.lane_count(), 3u);
+  EXPECT_EQ(batch.group_count(), 1u);
+  EXPECT_EQ(f.hub.view_count(), 1u);  // the group is the only hub view
+  EXPECT_EQ(f.hub.ring_count(), 1u);
+}
+
+TEST(MonitorBatch, SharedFieldOrTargetDifferencesSplitGroups) {
+  HubFixture f;
+  MonitorBatch batch(f.hub);
+  MonitorFactory factory(batch);
+  const auto a = factory.watch(0, small_monitor(10));
+  MonitorConfig estimator_cfg = small_monitor(10);
+  estimator_cfg.busy_credit_factor = 0.5;
+  const auto b = factory.watch(0, estimator_cfg);  // estimator knob: new group
+  const auto c = factory.watch(5, small_monitor(10));  // other target: new group
+
+  EXPECT_EQ(batch.lane_count(), 3u);
+  EXPECT_EQ(batch.group_count(), 3u);
+  EXPECT_EQ(f.hub.view_count(), 3u);
+  // The hub still shares components across groups under its own keying:
+  // all three agree on ring/ARMA/density knobs and attach time.
+  EXPECT_EQ(f.hub.ring_count(), 1u);
+}
+
+TEST(MonitorBatch, LaterCreationTimeGetsFreshGroup) {
+  // Mirrors Hub.LaterAttachTimeGetsFreshComponents: a lane added mid-run
+  // must not inherit another group's exchange state or components.
+  HubFixture f;
+  MonitorBatch batch(f.hub);
+  MonitorFactory factory(batch);
+  const auto a = factory.watch(0, small_monitor(10));
+  f.sim.run_until(1 * kSecond);
+  const auto b = factory.watch(0, small_monitor(10));
+  EXPECT_EQ(batch.group_count(), 2u);
+  EXPECT_EQ(f.hub.ring_count(), 2u);
+}
+
+TEST(MonitorBatch, FacadeAccessorsReadLaneState) {
+  HubFixture f;
+  MonitorBatch batch(f.hub);
+  MonitorFactory factory(batch);
+  const auto m = factory.watch(0, small_monitor(10));
+  EXPECT_EQ(&m->hub(), &f.hub);
+  EXPECT_EQ(m->stats().rts_observed, 0u);
+  EXPECT_TRUE(m->windows().empty());
+  EXPECT_TRUE(m->sample_log().empty());
+  m->set_active(false);
+  EXPECT_FALSE(batch.lane_active(0));
+  m->set_active(true);
+  EXPECT_TRUE(batch.lane_active(0));
 }
 
 }  // namespace

@@ -92,6 +92,59 @@ TEST(Sprt, FlagsCheatsAndRestartsOnAccept) {
   EXPECT_GE(test.score(), upper);
 }
 
+TEST(SequentialBank, SlotsMatchScalarTestsBitForBit) {
+  // The batched pipeline runs every CUSUM/SPRT lane through one
+  // SequentialBank. Interleave updates across slots with distinct params
+  // and assert each slot's Step stream equals the scalar test's, bit for
+  // bit — including the SPRT restart-on-accept and the reset-after-flag
+  // protocol the monitor drives.
+  CusumParams c1;  // defaults
+  CusumParams c2;
+  c2.drift = 0.02;
+  c2.threshold = 0.8;
+  SprtParams s1;  // defaults
+  SprtParams s2;
+  s2.mean_honest = -0.05;
+  s2.mean_cheat = 0.25;
+  s2.sigma = 0.4;
+
+  CusumTest ct1(c1), ct2(c2);
+  SprtTest st1(s1), st2(s2);
+  SequentialBank bank;
+  const std::size_t b1 = bank.add(DetectorKind::kCusum, c1, {});
+  const std::size_t b2 = bank.add(DetectorKind::kCusum, c2, {});
+  const std::size_t b3 = bank.add(DetectorKind::kSprt, {}, s1);
+  const std::size_t b4 = bank.add(DetectorKind::kSprt, {}, s2);
+  SequentialTest* scalar[] = {&ct1, &ct2, &st1, &st2};
+  const std::size_t slots[] = {b1, b2, b3, b4};
+
+  // A deterministic deficit stream that meanders through honest and cheat
+  // regimes (the exact values are irrelevant; identity of the arithmetic
+  // is the point).
+  double d = -0.2;
+  for (int i = 0; i < 500; ++i) {
+    d = 0.31 - d * 0.93;
+    for (std::size_t k = 0; k < 4; ++k) {
+      const auto want = scalar[k]->update(d);
+      const auto got = bank.update(slots[k], d);
+      ASSERT_EQ(got.flag, want.flag) << "slot " << k << " step " << i;
+      ASSERT_EQ(got.score, want.score) << "slot " << k << " step " << i;
+      EXPECT_EQ(bank.score(slots[k]), scalar[k]->score())
+          << "slot " << k << " step " << i;
+      if (want.flag) {
+        scalar[k]->reset();
+        bank.reset(slots[k]);
+      }
+    }
+  }
+}
+
+TEST(SequentialBank, RejectsWilcoxonSlots) {
+  SequentialBank bank;
+  EXPECT_THROW(bank.add(DetectorKind::kWilcoxon, {}, {}), util::ConfigError);
+  EXPECT_EQ(bank.size(), 0u);
+}
+
 // --- Monitor integration -----------------------------------------------------
 
 MonitorConfig seq_monitor(DetectorKind kind) {
