@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
   flags.add_name_list("attackers", "", "extra adversary-zoo rows per load (colluding, adaptive, "
                  "sybil, rts_flood, pm<percent>); empty keeps the paper grid "
                  "byte-identical");
+  flags.add_string("channel_index", "auto",
+                   "channel receiver lookup: auto | incremental | rebuild | scan");
   flags.add_engine_flags();
   flags.add_monitor_impl_flag();
   flags.parse_or_exit(argc, argv);
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   net::ScenarioConfig scenario;  // Table-1 grid defaults
   scenario.sim_seconds = flags.get_double("sim_time");
   scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  scenario.channel_index = flags.get("channel_index");
 
   exp::Engine engine = flags.make_engine();
   const auto sink = flags.make_sink();

@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
   flags.add_double("margin", 0.10, "permissible deficit fraction");
   flags.add_double("max_speed", 20, "random waypoint max speed (m/s)");
   flags.add_double("pause", 0, "random waypoint pause time (s)");
+  flags.add_string("channel_index", "auto",
+                   "channel receiver lookup: auto | incremental | rebuild | scan");
   flags.add_engine_flags();
   flags.add_monitor_impl_flag();
   flags.parse_or_exit(argc, argv);
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   scenario.pause_s = flags.get_double("pause");
   scenario.sim_seconds = flags.get_double("sim_time");
   scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  scenario.channel_index = flags.get("channel_index");
 
   exp::Engine engine = flags.make_engine();
   const auto sink = flags.make_sink();

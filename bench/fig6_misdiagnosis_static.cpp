@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
                  "colluding/adaptive/sybil attackers with the timing cheat "
                  "disabled, so every flag is still a false alarm (empty "
                  "keeps the paper rows byte-identical)");
+  flags.add_string("channel_index", "auto",
+                   "channel receiver lookup: auto | incremental | rebuild | scan");
   flags.add_engine_flags();
   flags.add_monitor_impl_flag();
   flags.parse_or_exit(argc, argv);
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
   net::ScenarioConfig scenario;
   scenario.sim_seconds = flags.get_double("sim_time");
   scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  scenario.channel_index = flags.get("channel_index");
 
   exp::Engine engine = flags.make_engine();
   const auto sink = flags.make_sink();

@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
   flags.add_int("runs", 2, "independent runs per point (consecutive seeds)");
   flags.add_int("seed", 501, "base random seed");
   flags.add_double("alpha", 0.01, "significance level for rejecting H0");
+  flags.add_string("channel_index", "auto",
+                   "channel receiver lookup: auto | incremental | rebuild | scan");
   flags.add_engine_flags();
   flags.add_monitor_impl_flag();
   flags.parse_or_exit(argc, argv);
@@ -67,6 +69,7 @@ int main(int argc, char** argv) {
   scenario.grid_spacing_m = flags.get_double("grid_spacing");
   scenario.sim_seconds = flags.get_double("sim_time");
   scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  scenario.channel_index = flags.get("channel_index");
 
   exp::Engine engine = flags.make_engine();
   const auto sink = flags.make_sink();

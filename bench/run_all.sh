@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs every figure/ablation bench with its --json sink enabled and merges
-# the per-bench JSON arrays into one BENCH_PR8.json object:
+# the per-bench JSON arrays into one BENCH_PR9.json object:
 #
 #   { "fig3_cond_prob_grid": [ {...}, ... ], "fig5_detection_static": [...] }
 #
@@ -20,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 build_dir=${1:-build-bench}
-out_json=${2:-BENCH_PR8.json}
+out_json=${2:-BENCH_PR9.json}
 threads=${THREADS:-0}
 
 if [[ ! -d "$build_dir/bench" ]]; then
@@ -44,6 +44,7 @@ default_benches=(
   fig6_misdiagnosis_static
   fig6b_misdiagnosis_mobile
   fig_allpairs_monitoring
+  fig_scale_sweep
   robustness_loss_sweep
   fig_roc_adversaries
   ablation_arma_alpha
@@ -56,7 +57,8 @@ default_benches=(
   micro_monitor
   micro_ingest
 )
-no_threads=(extension_multihop micro_wilcoxon micro_monitor micro_ingest)
+no_threads=(extension_multihop fig_scale_sweep micro_wilcoxon micro_monitor
+            micro_ingest)
 read -r -a benches <<< "${BENCHES:-${default_benches[*]}}"
 
 for bench in "${benches[@]}"; do

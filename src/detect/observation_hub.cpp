@@ -155,7 +155,9 @@ void ObservationHub::FrameRing::record(const mac::Frame& frame, SimTime start,
   while (frames_.size() > max_frames_) {
     frames_.pop_front();
     ++first_abs_;
+    ++cap_evictions_;
   }
+  peak_frames_ = std::max(peak_frames_, frames_.size());
   memo_valid_ = false;
 }
 

@@ -110,6 +110,15 @@ class ObservationHub : public mac::MacObserver {
     std::size_t size() const { return frames_.size(); }
     const std::deque<DecodedFrame>& frames() const { return frames_; }
 
+    /// High-water retained frame count and cap-forced evictions (as
+    /// opposed to ordinary age pruning) — the memory-ceiling test asserts
+    /// peak_frames stays under the configured budget through a long run.
+    std::size_t peak_frames() const { return peak_frames_; }
+    std::uint64_t cap_evictions() const { return cap_evictions_; }
+    std::size_t retained_memory_bytes() const {
+      return frames_.size() * sizeof(DecodedFrame);
+    }
+
     /// The busy/blocked/idle split of [win_start, win_end) for a monitor
     /// of `tagged`. Memoized per (window, tagged) until the next recorded
     /// frame — views watching the same tagged node pay for the interval
@@ -137,6 +146,9 @@ class ObservationHub : public mac::MacObserver {
     // can be skipped next time. Tracked as an absolute frame index
     // (first_abs_ counts every front prune) so record() needs no hint
     // maintenance; a window that regresses falls back to a full scan.
+    std::size_t peak_frames_ = 0;
+    std::uint64_t cap_evictions_ = 0;
+
     std::uint64_t first_abs_ = 0;    // absolute index of frames_.front()
     std::uint64_t hint_abs_ = 0;     // absolute index the last scan started at
     SimTime hint_win_start_ = 0;

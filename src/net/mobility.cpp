@@ -47,6 +47,39 @@ std::uint64_t RandomWaypoint::position_epoch(NodeId node, SimTime at) const {
   return phy::kMovingEpoch;
 }
 
+phy::MotionState RandomWaypoint::motion(NodeId node, SimTime at) const {
+  NodeState& st = nodes_.at(node);
+  if (at < st.leg.start) at = st.leg.start;  // clamp rewinds like position()
+  advance_to(st, at);
+  const Leg& leg = st.leg;
+  phy::MotionState m;
+  if (at >= leg.arrive) {
+    // Pause phase [arrive, next_start): parked at the waypoint. With
+    // pause == 0 this phase is empty and advance_to() already skipped it.
+    m.position = leg.to;
+    m.velocity_mps = {0.0, 0.0};
+    m.until = leg.next_start;
+    m.epoch = 2 * st.leg_index + 1;
+    return m;
+  }
+  // Travel phase [start, arrive): position() interpolates linearly, so the
+  // segment's velocity is exact up to floating-point noise (the channel
+  // pads its cells to absorb that).
+  m.position = position_at(leg, at);
+  const double travel_s = time_to_seconds(leg.arrive - leg.start);
+  m.velocity_mps = (leg.to - leg.from) * (1.0 / travel_s);
+  m.until = leg.arrive;
+  m.epoch = 2 * st.leg_index;
+  return m;
+}
+
+geom::Vec2 RandomWaypoint::position_at(const Leg& leg, SimTime at) {
+  if (at >= leg.arrive) return leg.to;  // pausing
+  const double frac = static_cast<double>(at - leg.start) /
+                      static_cast<double>(leg.arrive - leg.start);
+  return leg.from + (leg.to - leg.from) * frac;
+}
+
 geom::Vec2 RandomWaypoint::position(NodeId node, SimTime at) const {
   NodeState& st = nodes_.at(node);
   if (at < st.leg.start) {
@@ -56,11 +89,7 @@ geom::Vec2 RandomWaypoint::position(NodeId node, SimTime at) const {
     at = st.leg.start;
   }
   advance_to(st, at);
-  const Leg& leg = st.leg;
-  if (at >= leg.arrive) return leg.to;  // pausing
-  const double frac = static_cast<double>(at - leg.start) /
-                      static_cast<double>(leg.arrive - leg.start);
-  return leg.from + (leg.to - leg.from) * frac;
+  return position_at(st.leg, at);
 }
 
 }  // namespace manet::net

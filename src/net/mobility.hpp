@@ -32,6 +32,14 @@ class StaticMobility : public phy::PositionProvider {
   /// channel derives from them is cacheable for the whole run.
   std::uint64_t position_epoch(NodeId, SimTime) const override { return 0; }
   double max_speed_mps() const override { return 0.0; }
+  bool piecewise_linear() const override { return true; }
+
+  /// One zero-velocity segment covering all of time: the incremental
+  /// spatial index never schedules a migration for a static radio.
+  phy::MotionState motion(NodeId node, SimTime) const override {
+    return phy::MotionState{positions_.at(node), geom::Vec2{0.0, 0.0},
+                            kTimeNever, 0};
+  }
 
   std::size_t size() const { return positions_.size(); }
 
@@ -63,6 +71,12 @@ class RandomWaypoint : public phy::PositionProvider {
   /// changes continuously, so the epoch reports kMovingEpoch.
   std::uint64_t position_epoch(NodeId node, SimTime at) const override;
   double max_speed_mps() const override { return params_.max_speed; }
+  bool piecewise_linear() const override { return true; }
+
+  /// The current travel or pause phase as one linear segment. Travel legs
+  /// get epoch 2*leg_index (constant velocity toward the waypoint, ends at
+  /// arrival); pauses get 2*leg_index+1 (zero velocity, ends at departure).
+  phy::MotionState motion(NodeId node, SimTime at) const override;
 
   const RandomWaypointParams& params() const { return params_; }
 
@@ -83,6 +97,9 @@ class RandomWaypoint : public phy::PositionProvider {
 
   void advance_to(NodeState& st, SimTime at) const;
   Leg make_leg(util::Xoshiro256ss& rng, geom::Vec2 from, SimTime start) const;
+  /// Exact position within a leg; shared by position() and motion() so the
+  /// two are bit-identical at the same query time.
+  static geom::Vec2 position_at(const Leg& leg, SimTime at);
 
   RandomWaypointParams params_;
   mutable std::vector<NodeState> nodes_;  // lazily advanced cache

@@ -8,6 +8,7 @@ namespace manet::net {
 
 Network::Network(const ScenarioConfig& config)
     : config_(config), flow_rng_(util::mix64(config.seed ^ 0xF10Au)) {
+  config_.validate();
   // --- Layout ---
   std::vector<geom::Vec2> layout;
   if (config_.topology == TopologyKind::kGrid) {
@@ -32,9 +33,10 @@ Network::Network(const ScenarioConfig& config)
     // Center: the node nearest the field centroid that has a one-hop
     // neighbor (it anchors the monitored S-R pair).
     const geom::Vec2 mid{config_.area_width_m / 2.0, config_.area_height_m / 2.0};
+    const LayoutIndex index(layout, config_.prop.tx_range_m);
     double best = 1e300;
     for (std::size_t i = 0; i < layout.size(); ++i) {
-      if (neighbors_within(layout, i, config_.prop.tx_range_m).empty()) continue;
+      if (!index.has_neighbor(i, config_.prop.tx_range_m)) continue;
       const double d = (layout[i] - mid).norm2();
       if (d < best) {
         best = d;
@@ -61,10 +63,14 @@ Network::Network(const ScenarioConfig& config)
   propagation_ = std::make_unique<phy::Propagation>(config_.prop,
                                                     util::mix64(config_.seed ^ 0x5AADu));
   channel_ = std::make_unique<phy::Channel>(sim_, *propagation_, *mobility_);
+  channel_->set_index_mode(phy::Channel::parse_index_mode(config_.channel_index));
+  const SimDuration timeline_retention =
+      seconds_to_time(config_.timeline_retention_s);
   nodes_.reserve(layout.size());
   for (std::size_t i = 0; i < layout.size(); ++i) {
-    nodes_.push_back(std::make_unique<Node>(static_cast<NodeId>(i), sim_,
-                                            *channel_, config_.mac));
+    nodes_.push_back(std::make_unique<Node>(
+        static_cast<NodeId>(i), sim_, *channel_, config_.mac,
+        timeline_retention, config_.timeline_max_transitions));
   }
   has_flow_.assign(nodes_.size(), false);
 
@@ -97,6 +103,9 @@ PacketSink& Network::sink(NodeId id) {
 
 std::vector<NodeId> Network::neighbors(NodeId id, double range, SimTime at) const {
   std::vector<NodeId> out;
+  // Exact grid-backed query first: O(neighborhood) instead of O(N), with
+  // byte-identical results (the channel falls back by returning false).
+  if (channel_->radios_within(id, range, at, out)) return out;
   const geom::Vec2 p = mobility_->position(id, at);
   const double r2 = range * range;
   for (std::size_t j = 0; j < nodes_.size(); ++j) {

@@ -26,8 +26,13 @@ namespace manet::net {
 /// One station: radio + MAC + the CS timeline monitors read.
 struct Node {
   Node(NodeId id, sim::Simulator& sim, phy::Channel& channel,
-       const mac::DcfParams& params)
-      : radio(id, channel), mac(sim, radio, params) {
+       const mac::DcfParams& params,
+       SimDuration timeline_retention = 10 * kSecond,
+       std::size_t timeline_max_transitions =
+           phy::CsTimeline::kDefaultMaxTransitions)
+      : radio(id, channel),
+        mac(sim, radio, params),
+        timeline(timeline_retention, timeline_max_transitions) {
     radio.add_listener(&timeline);
   }
 

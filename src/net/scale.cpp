@@ -1,0 +1,149 @@
+#include "net/scale.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace manet::net {
+
+void ScaleScenarioParams::validate() const {
+  if (nodes == 0 || nodes > ScenarioConfig::kMaxNodes) {
+    throw std::invalid_argument("scale node count out of range: " +
+                                std::to_string(nodes));
+  }
+  if (!(density_per_km2 > 0.0) || !std::isfinite(density_per_km2)) {
+    throw std::invalid_argument("scale density must be positive and finite");
+  }
+  // The density-preserving side length must stay inside grid-cell indexing.
+  const double side_m = std::sqrt(static_cast<double>(nodes) / density_per_km2) * 1000.0;
+  if (!(side_m <= ScenarioConfig::kMaxAreaM)) {
+    throw std::invalid_argument(
+        "scale field side overflows grid-cell indexing: " +
+        std::to_string(side_m) + " m");
+  }
+  if (!(sim_seconds > 0.0) || !std::isfinite(sim_seconds)) {
+    throw std::invalid_argument("scale sim time must be positive and finite");
+  }
+  if (!(packets_per_second > 0.0) || !std::isfinite(packets_per_second)) {
+    throw std::invalid_argument("scale packet rate must be positive and finite");
+  }
+  if (payload_bytes == 0) {
+    throw std::invalid_argument("scale payload size must be positive");
+  }
+  if (num_flows > nodes) {
+    throw std::invalid_argument("scale flow count exceeds node count");
+  }
+  if (!(min_speed_mps >= 0.0) || !(max_speed_mps >= min_speed_mps) ||
+      !std::isfinite(max_speed_mps)) {
+    throw std::invalid_argument("scale speed range is invalid");
+  }
+  if (!(pause_s >= 0.0) || !std::isfinite(pause_s)) {
+    throw std::invalid_argument("scale pause must be non-negative and finite");
+  }
+}
+
+std::size_t ScaleScenarioParams::resolved_flows() const {
+  if (num_flows != 0) return num_flows;
+  const std::size_t derived = nodes / 20;
+  return derived == 0 ? 1 : derived;
+}
+
+ScenarioConfig make_scale_config(const ScaleScenarioParams& params) {
+  params.validate();
+  ScenarioConfig s;
+  s.topology = TopologyKind::kRandom;
+  s.random_nodes = params.nodes;
+  // Square field sized so nodes / area equals the requested density.
+  const double side_m =
+      std::sqrt(static_cast<double>(params.nodes) / params.density_per_km2) * 1000.0;
+  s.area_width_m = side_m;
+  s.area_height_m = side_m;
+  s.mobility = MobilityKind::kRandomWaypoint;
+  s.min_speed_mps = params.min_speed_mps;
+  s.max_speed_mps = params.max_speed_mps;
+  s.pause_s = params.pause_s;
+  s.traffic = TrafficKind::kPoisson;
+  s.payload_bytes = params.payload_bytes;
+  s.num_flows = params.resolved_flows();
+  s.packets_per_second = params.packets_per_second;
+  s.routing = RoutingKind::kAodv;
+  s.flow_pattern = FlowPattern::kAny;
+  s.sim_seconds = params.sim_seconds;
+  s.seed = params.seed;
+  s.channel_index = params.channel_index;
+  phy::Channel::parse_index_mode(s.channel_index);  // validate eagerly
+  s.timeline_retention_s = params.timeline_retention_s;
+  s.timeline_max_transitions = params.timeline_max_transitions;
+  s.validate();
+  return s;
+}
+
+void RequestResponder::on_l3_delivered(const mac::Frame& data, SimTime) {
+  if ((data.payload_id & kRequestBit) != 0) {
+    ++requests_received_;
+    // Same payload size back to the originator; clearing the marker makes
+    // the reply a plain delivery at the requester.
+    if (sink_.submit(data.net_source, data.payload_bytes,
+                     data.payload_id & ~kRequestBit)) {
+      ++responses_sent_;
+    }
+  } else {
+    ++responses_received_;
+  }
+}
+
+ScaleWorkload::ScaleWorkload(Network& net, std::size_t num_flows,
+                             double packets_per_second, std::uint64_t seed)
+    : net_(net) {
+  if (net.size() == 0 || net.router(0) == nullptr) {
+    throw std::invalid_argument("scale workload requires AODV routing");
+  }
+  if (num_flows == 0 || num_flows > net.size()) {
+    throw std::invalid_argument("scale workload flow count out of range");
+  }
+  responders_.reserve(net.size());
+  for (NodeId i = 0; i < net.size(); ++i) {
+    responders_.push_back(std::make_unique<RequestResponder>(*net.router(i)));
+    net.router(i)->set_listener(responders_.back().get());
+  }
+
+  // Distinct request sources via a partial Fisher-Yates over the node ids;
+  // destinations are arbitrary other nodes (AODV finds the path).
+  util::Xoshiro256ss rng(util::mix64(seed ^ 0x5CA1Eu));
+  std::vector<NodeId> ids(net.size());
+  for (NodeId i = 0; i < net.size(); ++i) ids[i] = i;
+  sources_.reserve(num_flows);
+  marking_sinks_.reserve(num_flows);
+  for (std::size_t k = 0; k < num_flows; ++k) {
+    const std::size_t pick = k + rng.uniform_int(ids.size() - k);
+    std::swap(ids[k], ids[pick]);
+    const NodeId src = ids[k];
+    NodeId dst;
+    do {
+      dst = static_cast<NodeId>(rng.uniform_int(net.size()));
+    } while (dst == src);
+    marking_sinks_.push_back(std::make_unique<MarkingSink>(*net.router(src)));
+    sources_.push_back(std::make_unique<PoissonSource>(
+        net.simulator(), src, *marking_sinks_.back(), dst, packets_per_second,
+        net.config().payload_bytes, util::mix64(seed ^ (0x5CA1E000u + k))));
+  }
+}
+
+void ScaleWorkload::start(SimTime start, SimTime stop) {
+  for (auto& source : sources_) source->start(start, stop);
+}
+
+ScaleWorkload::Stats ScaleWorkload::stats() const {
+  Stats out;
+  for (const auto& source : sources_) out.requests_generated += source->generated();
+  for (const auto& responder : responders_) {
+    out.requests_delivered += responder->requests_received();
+    out.responses_sent += responder->responses_sent();
+    out.responses_delivered += responder->responses_received();
+  }
+  return out;
+}
+
+}  // namespace manet::net

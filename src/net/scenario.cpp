@@ -1,6 +1,10 @@
 #include "net/scenario.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "phy/channel.hpp"
 
 namespace manet::net {
 
@@ -41,6 +45,52 @@ void ScenarioConfig::declare(util::Config& c) {
   c.declare("fault_outages", "",
             "Receiver outages: node:start_s:stop_s[,node:start_s:stop_s...]");
   c.declare("fault_seed", "0", "Extra stream selector for the fault RNG");
+  c.declare("channel_index", "auto",
+            "Channel receiver lookup: auto | incremental | rebuild | scan");
+  c.declare("timeline_retention_s", "10",
+            "Carrier-history retention horizon per node (s)");
+  c.declare("timeline_max_transitions", "262144",
+            "Hard per-node carrier-transition budget (compacted beyond)");
+}
+
+void ScenarioConfig::validate() const {
+  if (topology == TopologyKind::kGrid) {
+    if (grid_rows == 0 || grid_cols == 0) {
+      throw std::invalid_argument("grid dimensions must be positive");
+    }
+    if (grid_rows > kMaxNodes / grid_cols) {
+      throw std::invalid_argument(
+          "grid node count overflows spatial-index node capacity (" +
+          std::to_string(grid_rows) + "x" + std::to_string(grid_cols) + ")");
+    }
+  } else if (random_nodes == 0 || random_nodes > kMaxNodes) {
+    throw std::invalid_argument(
+        "random topology node count out of range: " +
+        std::to_string(random_nodes));
+  }
+  for (const auto& [value, name] :
+       {std::pair<double, const char*>{area_width_m, "area width"},
+        {area_height_m, "area height"}}) {
+    if (!(value > 0.0) || !(value <= kMaxAreaM)) {
+      throw std::invalid_argument(
+          std::string(name) +
+          " must be in (0, 1e9] m to fit grid-cell indexing: " +
+          std::to_string(value));
+    }
+  }
+  if (topology == TopologyKind::kGrid &&
+      !(grid_spacing_m > 0.0 &&
+        grid_spacing_m * static_cast<double>(std::max(grid_rows, grid_cols)) <=
+            kMaxAreaM)) {
+    throw std::invalid_argument(
+        "grid spacing out of range: " + std::to_string(grid_spacing_m));
+  }
+  if (!(timeline_retention_s > 0.0)) {
+    throw std::invalid_argument("timeline retention must be positive");
+  }
+  if (timeline_max_transitions < 2) {
+    throw std::invalid_argument("timeline transition budget must be >= 2");
+  }
 }
 
 ScenarioConfig ScenarioConfig::from_config(const util::Config& c) {
@@ -79,6 +129,12 @@ ScenarioConfig ScenarioConfig::from_config(const util::Config& c) {
   s.faults.ge_loss_bad = c.get_double("fault_ge_loss_bad");
   s.faults.outages = parse_outages(c.get("fault_outages"));
   s.faults.seed = static_cast<std::uint64_t>(c.get_int("fault_seed"));
+  s.channel_index = c.get("channel_index");
+  phy::Channel::parse_index_mode(s.channel_index);  // validate eagerly
+  s.timeline_retention_s = c.get_double("timeline_retention_s");
+  s.timeline_max_transitions =
+      static_cast<std::size_t>(c.get_int("timeline_max_transitions"));
+  s.validate();
   return s;
 }
 

@@ -54,6 +54,18 @@ struct ScenarioConfig {
   double sim_seconds = 300.0;
   std::uint64_t seed = 1;
 
+  /// Channel receiver-lookup path: auto | incremental | rebuild | scan
+  /// (see phy::Channel::IndexMode). "auto" picks the incremental index for
+  /// piecewise-linear mobility at scale; "rebuild" pins the retained PR-4
+  /// kernel (the measurable pre-PR-9 baseline); "scan" is the reference.
+  std::string channel_index = "auto";
+
+  /// Per-node carrier-history budget: age-based retention plus a hard
+  /// transition cap with fold-in compaction (phy::CsTimeline). Scale
+  /// scenarios shrink these; monitored paper runs keep the defaults.
+  double timeline_retention_s = 10.0;
+  std::size_t timeline_max_transitions = std::size_t{1} << 18;
+
   mac::DcfParams mac;
   phy::PropagationParams prop;
 
@@ -65,6 +77,18 @@ struct ScenarioConfig {
   std::size_t node_count() const {
     return topology == TopologyKind::kGrid ? grid_rows * grid_cols : random_nodes;
   }
+
+  /// Upper bounds accepted by validate(): node counts must fit the
+  /// channel's 32-bit attach indices (and the pair-cache key packing) with
+  /// headroom, and coordinates must stay far inside 32-bit grid-cell
+  /// indexing at the ~551 m cell size.
+  static constexpr std::size_t kMaxNodes = std::size_t{1} << 22;
+  static constexpr double kMaxAreaM = 1e9;
+
+  /// Throws std::invalid_argument on parameters that would overflow
+  /// grid-cell indexing or node-index packing (silent OOM / wraparound
+  /// otherwise). Called by from_config and the Network constructor.
+  void validate() const;
 
   /// Declares every parameter (with Table-1 defaults) into `config`.
   static void declare(util::Config& config);

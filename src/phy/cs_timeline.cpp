@@ -12,7 +12,14 @@ void CsTimeline::on_carrier(bool busy, SimTime at) {
   last_edge_ = at;
   transitions_.push_back(Transition{at, busy});
   current_busy_ = busy;
-  prune(at);
+  // Pruning is amortized: retention trimming is pure memory reclamation
+  // (windowed queries never reach past it), so running it every 32nd edge
+  // saves the deque walk on the busiest path in the simulator. The hard
+  // budget still triggers immediately — retained size never exceeds the
+  // configured cap.
+  if (transitions_.size() >= max_transitions_ || (++prune_tick_ & 31u) == 0) {
+    prune(at);
+  }
 }
 
 void CsTimeline::prune(SimTime now) {
@@ -24,6 +31,30 @@ void CsTimeline::prune(SimTime now) {
   while (!outages_.empty() && outages_.front().stop <= horizon) {
     outages_.pop_front();
   }
+  // Hard budgets: when age-based pruning alone can't keep the history under
+  // the cap, compact by folding the oldest transitions into the initial
+  // state, exactly as retention pruning does. Queries reaching back past
+  // the compacted horizon see the folded state; everything younger stays
+  // exact. Surfaced through budget_stats() so workloads that hit the caps
+  // are visible rather than silently truncated.
+  if (transitions_.size() > max_transitions_) {
+    ++budget_stats_.compactions;
+    do {
+      initial_busy_ = transitions_.front().busy;
+      transitions_.pop_front();
+      ++budget_stats_.dropped_transitions;
+    } while (transitions_.size() > max_transitions_);
+  }
+  while (outages_.size() > max_outages_) {
+    outages_.pop_front();
+    ++budget_stats_.dropped_outages;
+  }
+  // High-water marks after budget enforcement: what was actually retained,
+  // never the one-edge transient the compaction just trimmed.
+  budget_stats_.peak_transitions =
+      std::max(budget_stats_.peak_transitions, transitions_.size());
+  budget_stats_.peak_outages =
+      std::max(budget_stats_.peak_outages, outages_.size());
 }
 
 void CsTimeline::on_outage(bool deaf, SimTime at) {
@@ -34,7 +65,9 @@ void CsTimeline::on_outage(bool deaf, SimTime at) {
     outages_.push_back(OutageSpan{outage_start_, at});
   }
   in_outage_ = deaf;
-  prune(at);
+  if (outages_.size() >= max_outages_ || (++prune_tick_ & 31u) == 0) {
+    prune(at);
+  }
 }
 
 SimDuration CsTimeline::outage_time(SimTime from, SimTime to) const {

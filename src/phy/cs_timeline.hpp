@@ -50,8 +50,29 @@ struct SlotCounts {
 
 class CsTimeline : public RadioListener {
  public:
-  explicit CsTimeline(SimDuration retention = 10 * kSecond)
-      : retention_(retention) {}
+  /// Default hard caps. 2^18 transitions x 16 B = 4 MiB/node worst case —
+  /// far above what any 10 s retention window accumulates at paper loads,
+  /// so the caps are pure insurance; scale scenarios lower them explicitly
+  /// (see ScenarioConfig::timeline_max_transitions).
+  static constexpr std::size_t kDefaultMaxTransitions = std::size_t{1} << 18;
+  static constexpr std::size_t kDefaultMaxOutages = std::size_t{1} << 12;
+
+  /// Counters surfaced so memory-ceiling tests (and cache-stats readouts)
+  /// can assert the budgets actually bound retention.
+  struct BudgetStats {
+    std::uint64_t compactions = 0;           // budget-forced fold-ins
+    std::uint64_t dropped_transitions = 0;   // transitions folded by budget
+    std::uint64_t dropped_outages = 0;       // outage spans dropped by budget
+    std::size_t peak_transitions = 0;        // high-water retained count
+    std::size_t peak_outages = 0;
+  };
+
+  explicit CsTimeline(SimDuration retention = 10 * kSecond,
+                      std::size_t max_transitions = kDefaultMaxTransitions,
+                      std::size_t max_outages = kDefaultMaxOutages)
+      : retention_(retention),
+        max_transitions_(std::max<std::size_t>(max_transitions, 2)),
+        max_outages_(std::max<std::size_t>(max_outages, 1)) {}
 
   /// Attach to a radio: radio.add_listener(&timeline). Initial state is
   /// idle at time 0.
@@ -121,6 +142,16 @@ class CsTimeline : public RadioListener {
 
   std::size_t recorded_transitions() const { return transitions_.size(); }
 
+  const BudgetStats& budget_stats() const { return budget_stats_; }
+  std::size_t max_transitions() const { return max_transitions_; }
+
+  /// Bytes retained by the transition and outage histories (the per-node
+  /// quantity the memory-ceiling test bounds).
+  std::size_t retained_memory_bytes() const {
+    return transitions_.size() * sizeof(Transition) +
+           outages_.size() * sizeof(OutageSpan);
+  }
+
   /// Exact state capture / restore (see CsTimelineSnapshot). restore()
   /// replaces every field, including the retention horizon.
   CsTimelineSnapshot snapshot() const;
@@ -157,6 +188,10 @@ class CsTimeline : public RadioListener {
   };
 
   SimDuration retention_;
+  std::size_t max_transitions_ = kDefaultMaxTransitions;
+  std::size_t max_outages_ = kDefaultMaxOutages;
+  std::uint32_t prune_tick_ = 0;  // amortizes retention pruning (every 32 edges)
+  BudgetStats budget_stats_;
   std::deque<Transition> transitions_;  // sorted by time
   bool current_busy_ = false;
   bool initial_busy_ = false;  // state before the first retained transition

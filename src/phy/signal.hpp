@@ -44,6 +44,24 @@ inline constexpr std::uint64_t kMovingEpoch = ~std::uint64_t{0};
 /// drift between queries, so spatial pre-filtering is disabled.
 inline constexpr double kUnboundedSpeed = std::numeric_limits<double>::infinity();
 
+/// One piecewise-linear motion segment of a node: from the query instant
+/// until `until`, the node's true position stays within floating-point
+/// noise of position + velocity_mps * (t - query time). The channel's
+/// incremental spatial index consumes these to schedule cell migrations at
+/// exact boundary-crossing times and to bound pair distances over time; it
+/// never reconstructs exact positions from a segment (exact positions
+/// always come from position(), so cached-path results stay bit-identical
+/// to a full scan).
+struct MotionState {
+  geom::Vec2 position;          // exact position at the query time
+  geom::Vec2 velocity_mps;      // constant over [query time, until)
+  SimTime until = 0;            // segment end; <= query time means "unknown"
+  /// Distinct per segment (a waypoint leg's travel and pause phases get
+  /// different epochs); kMovingEpoch when the provider cannot describe the
+  /// motion. Two equal non-kMovingEpoch epochs identify the same segment.
+  std::uint64_t epoch = kMovingEpoch;
+};
+
 /// Interface nodes use to expose their (possibly moving) positions.
 class PositionProvider {
  public:
@@ -64,6 +82,18 @@ class PositionProvider {
   /// channel's spatial index uses it to bound how stale its cells can be;
   /// kUnboundedSpeed (the conservative default) disables the index.
   virtual double max_speed_mps() const { return kUnboundedSpeed; }
+
+  /// True when motion() describes every node's trajectory as piecewise-
+  /// linear segments; required by the channel's incremental index. The
+  /// default (false) keeps unknown providers on the rebuild/scan paths.
+  virtual bool piecewise_linear() const { return false; }
+
+  /// The motion segment containing `at`. Default: position only, nothing
+  /// known beyond the instant. Like position(), expected to be queried
+  /// with non-decreasing `at` per node.
+  virtual MotionState motion(NodeId node, SimTime at) const {
+    return MotionState{position(node, at), geom::Vec2{0.0, 0.0}, at, kMovingEpoch};
+  }
 };
 
 }  // namespace manet::phy

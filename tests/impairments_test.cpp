@@ -413,7 +413,9 @@ struct GridRunResult {
   phy::Channel::CacheStats stats;
 };
 
-GridRunResult run_grid_scenario(bool spatial_index, bool mobile) {
+GridRunResult run_grid_scenario(phy::Channel::IndexMode mode, bool mobile,
+                                std::uint64_t seed = 5,
+                                SimDuration pause = 5 * kSecond) {
   sim::Simulator sim;
   phy::Propagation prop(phy::PropagationParams{}, /*shadowing_seed=*/1);
 
@@ -427,20 +429,21 @@ GridRunResult run_grid_scenario(bool spatial_index, bool mobile) {
   if (mobile) {
     // Compressed-time waypoint motion: fast legs and long pauses so the run
     // actually contains waypoint arrivals, simultaneous pauses (epoch-cache
-    // hits), and enough drift to force grid rebuilds.
+    // hits), and enough drift to force grid rebuilds. pause = 0 keeps every
+    // node continuously in motion instead.
     net::RandomWaypointParams rwp;
     rwp.width = 600.0;
     rwp.height = 600.0;
     rwp.min_speed = 100.0;
     rwp.max_speed = 200.0;
-    rwp.pause = 5 * kSecond;
-    positions = std::make_unique<net::RandomWaypoint>(layout, rwp, 5);
+    rwp.pause = pause;
+    positions = std::make_unique<net::RandomWaypoint>(layout, rwp, seed);
   } else {
     positions = std::make_unique<net::StaticMobility>(layout);
   }
 
   phy::Channel channel(sim, prop, *positions);
-  channel.set_spatial_index_enabled(spatial_index);
+  channel.set_index_mode(mode);
 
   std::vector<std::unique_ptr<phy::Radio>> radios;
   std::vector<std::unique_ptr<DeliveryTrace>> traces;
@@ -490,8 +493,10 @@ GridRunResult run_grid_scenario(bool spatial_index, bool mobile) {
 }
 
 TEST(SpatialIndex, StaticScenarioMatchesFullScanExactly) {
-  const GridRunResult fast = run_grid_scenario(/*spatial_index=*/true, /*mobile=*/false);
-  const GridRunResult ref = run_grid_scenario(/*spatial_index=*/false, /*mobile=*/false);
+  const GridRunResult fast =
+      run_grid_scenario(phy::Channel::IndexMode::kRebuild, /*mobile=*/false);
+  const GridRunResult ref =
+      run_grid_scenario(phy::Channel::IndexMode::kFullScan, /*mobile=*/false);
   EXPECT_EQ(fast.trace, ref.trace);
   // Identical fault-RNG consumption proves candidates were visited in
   // attach order — any other order permutes per-receiver fates.
@@ -505,8 +510,10 @@ TEST(SpatialIndex, StaticScenarioMatchesFullScanExactly) {
 }
 
 TEST(SpatialIndex, MobileScenarioMatchesFullScanExactly) {
-  const GridRunResult fast = run_grid_scenario(/*spatial_index=*/true, /*mobile=*/true);
-  const GridRunResult ref = run_grid_scenario(/*spatial_index=*/false, /*mobile=*/true);
+  const GridRunResult fast =
+      run_grid_scenario(phy::Channel::IndexMode::kRebuild, /*mobile=*/true);
+  const GridRunResult ref =
+      run_grid_scenario(phy::Channel::IndexMode::kFullScan, /*mobile=*/true);
   EXPECT_EQ(fast.trace, ref.trace);
   EXPECT_EQ(fast.fault_decisions, ref.fault_decisions);
   EXPECT_EQ(fast.stats.full_scans, 0u);
@@ -514,6 +521,55 @@ TEST(SpatialIndex, MobileScenarioMatchesFullScanExactly) {
   EXPECT_GT(fast.stats.grid_rebuilds, 1u);
   // Long pauses make some links cacheable even under mobility.
   EXPECT_GT(fast.stats.link_budget_hits, 0u);
+}
+
+TEST(SpatialIndex, IncrementalStaticMatchesReferenceExactly) {
+  const GridRunResult inc = run_grid_scenario(
+      phy::Channel::IndexMode::kIncremental, /*mobile=*/false);
+  const GridRunResult ref =
+      run_grid_scenario(phy::Channel::IndexMode::kFullScan, /*mobile=*/false);
+  EXPECT_EQ(inc.trace, ref.trace);
+  EXPECT_EQ(inc.fault_decisions, ref.fault_decisions);
+  EXPECT_EQ(inc.stats.full_scans, 0u);
+  EXPECT_EQ(inc.stats.grid_rebuilds, 0u);
+  // Static radios never carry migration deadlines.
+  EXPECT_EQ(inc.stats.cell_migrations, 0u);
+  EXPECT_EQ(inc.stats.migration_checks, 0u);
+  // Parked pairs cache their exact budgets, like the rebuild path.
+  EXPECT_GT(inc.stats.link_budget_hits, inc.stats.link_budget_misses);
+}
+
+// The mobility-epoch caching satellite: seed-swept equality of delivery
+// traces and fault decisions (and thus every link-budget comparison)
+// between the incremental index and the retained references, for
+// pausing-waypoint and continuously-moving radios.
+TEST(SpatialIndex, IncrementalMobileMatchesReferenceSeedSwept) {
+  for (const std::uint64_t seed : {5ull, 11ull, 23ull}) {
+    for (const SimDuration pause : {5 * kSecond, SimDuration{0}}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " pause=" + std::to_string(pause));
+      const GridRunResult inc = run_grid_scenario(
+          phy::Channel::IndexMode::kIncremental, /*mobile=*/true, seed, pause);
+      const GridRunResult ref = run_grid_scenario(
+          phy::Channel::IndexMode::kFullScan, /*mobile=*/true, seed, pause);
+      const GridRunResult reb = run_grid_scenario(
+          phy::Channel::IndexMode::kRebuild, /*mobile=*/true, seed, pause);
+      EXPECT_EQ(inc.trace, ref.trace);
+      EXPECT_EQ(inc.fault_decisions, ref.fault_decisions);
+      EXPECT_EQ(reb.trace, ref.trace);
+      EXPECT_EQ(reb.fault_decisions, ref.fault_decisions);
+      EXPECT_EQ(inc.stats.full_scans, 0u);
+      EXPECT_EQ(inc.stats.grid_rebuilds, 0u);
+      // Fast legs across 600 m cross the 551 m cells: migrations happened.
+      EXPECT_GT(inc.stats.cell_migrations, 0u);
+      // Far moving pairs were rejected by the predicted-position prefilter.
+      EXPECT_GT(inc.stats.prefilter_rejects, 0u);
+      if (pause > 0) {
+        // Overlapping pauses make parked pairs exactly cacheable.
+        EXPECT_GT(inc.stats.link_budget_hits, 0u);
+      }
+    }
+  }
 }
 
 }  // namespace
