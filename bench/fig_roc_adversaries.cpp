@@ -11,6 +11,16 @@
 // work queue and the scoring is serial in a fixed order: output is
 // bit-identical for any --threads.
 //
+// Fabric layout: one cell per attacker. The two honest baselines (gap
+// bound off/on) are NOT cells — every shard that scores an attacker needs
+// one, so they are memoized in the artifact store ($MANET_ARTIFACTS) as
+// serialized decision streams (detect::serialize_baseline): the first
+// process to need a baseline simulates it under an advisory lock and the
+// rest read the stored blob, so N shards pay for each baseline once.
+// Without a store each process computes the baselines it needs locally.
+// The scoring consumes the parse_baseline round-trip in EVERY case (also
+// serially), so artifacts are bit-identical with or without the store.
+//
 // The rts_flood points (and their matched honest baseline) enable the
 // anchorless RTS-gap bound (MonitorConfig::rts_gap_bound) — without it a
 // pure flood completes no exchange and would never produce a single
@@ -20,12 +30,15 @@
 // would flatten every curve).
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "detect/roc.hpp"
 #include "detect/sequential.hpp"
+#include "exp/artifact_store.hpp"
+#include "exp/rate_cache.hpp"
 
 using namespace manet;
 
@@ -54,6 +67,7 @@ int main(int argc, char** argv) {
   flags.add_double("margin", 0.10, "permissible back-off deficit (fraction of expected mean)");
   flags.add_engine_flags();
   flags.add_monitor_impl_flag();
+  flags.add_fabric_flags();
   flags.parse_or_exit(argc, argv);
 
   const auto attacker_names = flags.get_name_list("attackers");
@@ -110,7 +124,8 @@ int main(int argc, char** argv) {
   scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
   exp::Engine engine = flags.make_engine();
-  const auto sink = flags.make_sink();
+  const auto fabric =
+      flags.make_fabric(specs.size(), "fig_roc_adversaries");
   bench::RateCache rates(scenario);
   const double rate_pps = rates.rate_for(load);
 
@@ -141,32 +156,46 @@ int main(int argc, char** argv) {
     return spec.kind == detect::AttackerKind::kRtsFlood;
   };
 
-  // Points 0/1 are the shared honest baselines (the false-alarm side of
-  // every ROC), one per detector variant so each attacker is compared
-  // against the exact detector config that scored it.
   const auto honest_spec = detect::attacker_spec_from_name("honest", tuning);
-  std::vector<detect::MultiDetectionConfig> points;
-  points.push_back(make_point(honest_spec, /*gap_bound=*/false));
-  points.push_back(make_point(honest_spec, /*gap_bound=*/true));
-  for (const auto& spec : specs) points.push_back(make_point(spec, uses_gap_bound(spec)));
+  const double warmup_s = make_point(honest_spec, false).warmup_s;
 
-  const auto sweep_start = std::chrono::steady_clock::now();
-  const auto results = detect::run_multi_detection_sweep(points, runs, engine);
-  const double sweep_wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
-          .count();
+  // Honest baselines, memoized per gap-bound variant. The key folds in
+  // everything the baseline's decision stream depends on (the raw flag
+  // text is conservative: a re-spelled but equal value re-computes).
+  const exp::ArtifactStore store;
+  std::optional<std::vector<detect::DetectionResult>> baselines[2];
+  const auto honest_baseline =
+      [&](bool gap) -> const std::vector<detect::DetectionResult>& {
+    auto& slot = baselines[gap ? 1 : 0];
+    if (!slot) {
+      const std::string key =
+          "roc-baseline-v1|" + exp::scenario_fingerprint(scenario) +
+          "|sim=" + flags.get("sim_time") + "|load=" + flags.get("load") +
+          "|ss=" + flags.get("sample_sizes") +
+          "|det=" + flags.get("detectors") + "|margin=" +
+          flags.get("margin") + "|runs=" + std::to_string(runs) +
+          "|gap=" + (gap ? "1" : "0");
+      const std::string blob = store.get_or_compute(key, [&] {
+        const auto result = detect::run_multi_detection_trials(
+            make_point(honest_spec, gap), runs, engine);
+        return detect::serialize_baseline(result.per_config);
+      });
+      slot = detect::parse_baseline(blob);
+    }
+    return *slot;
+  };
 
-  const double warmup_s = points.front().warmup_s;
-
-  for (std::size_t ai = 0; ai < specs.size(); ++ai) {
-    const auto& attack = results[ai + 2];
-    const auto& honest = uses_gap_bound(specs[ai]) ? results[1] : results[0];
+  const auto emit_cell = [&](std::uint64_t cell,
+                             const detect::MultiDetectionResult& attack) {
+    fabric->begin_cell(cell);
+    const auto ai = static_cast<std::size_t>(cell);
+    const auto& honest = honest_baseline(uses_gap_bound(specs[ai]));
     for (std::size_t di = 0; di < detectors.size(); ++di) {
     const char* detector = detect::detector_name(detectors[di]);
     for (std::size_t si = 0; si < sample_sizes.size(); ++si) {
       const std::size_t ci = di * sample_sizes.size() + si;
       const detect::RocCurve curve = detect::score_roc_curve(
-          attack.per_config[ci], honest.per_config[ci], thresholds, warmup_s);
+          attack.per_config[ci], honest[ci], thresholds, warmup_s);
 
       std::printf("\n## %s (ss=%.0f, %s): AUC = %.4f\n",
                   attacker_names[ai].c_str(), sample_sizes[si], detector,
@@ -207,7 +236,7 @@ int main(int argc, char** argv) {
             .add("max_ttd_s", p.max_ttd_s)
             .add("wall_seconds", attack.wall_seconds)
             .add("threads", engine.threads());
-        sink->record(rec);
+        fabric->record(rec);
       }
 
       // Summary record per (attacker, sample size): the AUC plus TTD at
@@ -235,12 +264,34 @@ int main(int argc, char** argv) {
           .add("ref_median_ttd_s", rp.median_ttd_s)
           .add("first_flag_windows", attack.per_config[ci].stats.windows_to_first_flag)
           .add("threads", engine.threads());
-      sink->record(summary);
+      fabric->record(summary);
     }
     }
-  }
-  sink->flush();
-  std::printf("\n# sweep wall-clock: %.2f s (%u threads, %zu points x %d runs)\n",
-              sweep_wall, engine.threads(), points.size(), runs);
+  };
+
+  double sweep_wall = 0.0;
+  fabric->run([&](std::uint64_t first, std::uint64_t last) {
+    std::vector<detect::MultiDetectionConfig> chunk;
+    chunk.reserve(static_cast<std::size_t>(last - first));
+    for (std::uint64_t c = first; c < last; ++c) {
+      const auto& spec = specs[static_cast<std::size_t>(c)];
+      chunk.push_back(make_point(spec, uses_gap_bound(spec)));
+    }
+
+    const auto chunk_start = std::chrono::steady_clock::now();
+    const auto results = detect::run_multi_detection_sweep(chunk, runs, engine);
+    sweep_wall += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                chunk_start)
+                      .count();
+
+    for (std::uint64_t c = first; c < last; ++c) {
+      emit_cell(c, results[static_cast<std::size_t>(c - first)]);
+    }
+  });
+
+  std::printf("\n# sweep wall-clock: %.2f s (%u threads, %llu of %llu cells x %d runs)\n",
+              sweep_wall, engine.threads(),
+              static_cast<unsigned long long>(fabric->cell_end() - fabric->cell_begin()),
+              static_cast<unsigned long long>(specs.size()), runs);
   return 0;
 }

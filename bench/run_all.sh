@@ -56,9 +56,10 @@ default_benches=(
   micro_wilcoxon
   micro_monitor
   micro_ingest
+  micro_sink
 )
 no_threads=(extension_multihop fig_scale_sweep micro_wilcoxon micro_monitor
-            micro_ingest)
+            micro_ingest micro_sink)
 read -r -a benches <<< "${BENCHES:-${default_benches[*]}}"
 
 for bench in "${benches[@]}"; do
@@ -72,9 +73,18 @@ for bench in "${benches[@]}"; do
   if [[ ! " ${no_threads[*]} " == *" $bench "* ]]; then
     flags+=(--threads="$threads")
   fi
-  # extension_multihop exits 1 on a degraded verdict; still collect its
-  # records — the JSON itself reports the failure.
-  "$bin" "${flags[@]}" ${EXTRA_FLAGS:-} || echo "## $bench exited non-zero" >&2
+  # Fail fast: a crashing bench aborts the whole batch instead of leaving
+  # a silently incomplete merged artifact. Sole exception: extension_multihop
+  # exits 1 on a degraded VERDICT by design — its records still land in the
+  # JSON, which is where the verdict is reported.
+  if ! "$bin" "${flags[@]}" ${EXTRA_FLAGS:-}; then
+    if [[ "$bench" == extension_multihop ]]; then
+      echo "## $bench reported a degraded verdict (expected exit 1)" >&2
+    else
+      echo "error: $bench failed — aborting the batch" >&2
+      exit 1
+    fi
+  fi
 done
 
 # Merge the per-bench arrays into one top-level object.

@@ -137,6 +137,64 @@ diff "$smoke_dir/live_mobile.txt" "$smoke_dir/replay_mobile.txt" \
 ./build-asan/bench/micro_ingest \
     --filter=replay_batch_wilcoxon --reps=0.1 >/dev/null
 
+echo "== sharded sweep fabric (ASan + UBSan) =="
+# The fig5 sweep as 3 independent shard processes writing binary columnar
+# artifacts; sweep_merge validates the set and renders the canonical JSON,
+# which must be byte-identical to the serial single-process artifact from
+# the determinism stage above.
+fig5_flags=(--loads=0.6 --pms=0,50 --sim_time=20 --runs=4 --threads=1)
+for i in 0 1 2; do
+  ./build-asan/bench/fig5_detection_static "${fig5_flags[@]}" \
+      --shard="$i/3" --columnar="$smoke_dir/fab_$i.mcol" >/dev/null
+done
+./build-asan/tools/sweep_merge --json="$smoke_dir/fab_merged.json" \
+    "$smoke_dir"/fab_{0,1,2}.mcol >/dev/null
+diff <(strip_timing "$smoke_dir/fab_merged.json") \
+     <(strip_timing "$smoke_dir/fig5_serial.json") \
+  || { echo "sharded merge differs from the serial artifact"; exit 1; }
+# The merge tool must REFUSE defective shard sets: a missing shard (gap),
+# a doubled shard (overlap), a shard from a different sweep (fingerprint
+# mismatch), and a corrupted artifact (CRC).
+expect_merge_failure() {  # $1 description, then sweep_merge args...
+  local what=$1
+  shift
+  if ./build-asan/tools/sweep_merge "$@" >/dev/null 2>"$smoke_dir/merge_err"; then
+    echo "sweep_merge accepted a defective shard set ($what)"; exit 1
+  fi
+  echo "  sweep_merge refused $what: $(head -1 "$smoke_dir/merge_err")"
+}
+expect_merge_failure "a coverage gap" "$smoke_dir"/fab_{0,2}.mcol
+expect_merge_failure "an overlap" "$smoke_dir"/fab_{0,1,1,2}.mcol
+./build-asan/bench/fig5_detection_static --loads=0.6 --pms=0,25 \
+    --sim_time=20 --runs=4 --threads=1 --shard=2/3 \
+    --columnar="$smoke_dir/fab_other.mcol" >/dev/null
+expect_merge_failure "a sweep fingerprint mismatch" \
+    "$smoke_dir"/fab_{0,1}.mcol "$smoke_dir/fab_other.mcol"
+cp "$smoke_dir/fab_1.mcol" "$smoke_dir/fab_bad.mcol"
+printf '\x5a' | dd of="$smoke_dir/fab_bad.mcol" bs=1 seek=200 conv=notrunc \
+    status=none
+expect_merge_failure "a CRC-corrupt artifact" \
+    "$smoke_dir/fab_0.mcol" "$smoke_dir/fab_bad.mcol" "$smoke_dir/fab_2.mcol"
+
+echo "== checkpoint/resume (ASan + UBSan) =="
+# Kill a checkpointing shard mid-run (SIGKILL: no destructors, the sink
+# keeps a partial tail past the journal offset), rerun the identical
+# command to resume, and require the artifact to match the serial JSON.
+# If the machine is fast enough that the first attempt finishes before
+# the kill, the rerun is a fresh complete run — the comparison still holds.
+ck_flags=("${fig5_flags[@]}" --checkpoint_cells=1
+          --columnar="$smoke_dir/ck.mcol" --checkpoint="$smoke_dir/ck.journal")
+timeout -s KILL 3 ./build-asan/bench/fig5_detection_static \
+    "${ck_flags[@]}" >/dev/null || true
+./build-asan/bench/fig5_detection_static "${ck_flags[@]}" >/dev/null
+[[ ! -e "$smoke_dir/ck.journal" ]] \
+  || { echo "checkpoint journal not removed after completion"; exit 1; }
+./build-asan/tools/sweep_merge --json="$smoke_dir/ck.json" \
+    "$smoke_dir/ck.mcol" >/dev/null
+diff <(strip_timing "$smoke_dir/ck.json") \
+     <(strip_timing "$smoke_dir/fig5_serial.json") \
+  || { echo "resumed run differs from the serial artifact"; exit 1; }
+
 echo "== scale kernel smoke (ASan + UBSan) =="
 # 1k mobile nodes through the incremental spatial index: cell migrations,
 # the predicted-position prefilter, the parked-pair cache, and the
@@ -162,5 +220,28 @@ scale_flags=(--nodes=400 --sim_time=3 --seed=7)
 diff <(strip_scale "$smoke_dir/scale_inc.json") \
      <(strip_scale "$smoke_dir/scale_scan.json") \
   || { echo "incremental index output differs from full-scan reference"; exit 1; }
+
+echo "== ThreadSanitizer: engine fan-out, sinks, fabric =="
+# TSan build scoped to the concurrency-bearing layer: the exp engine's
+# worker pool, the (mutex-guarded) result sinks, the fabric, and a
+# multi-threaded sweep driving them all. ASan and TSan cannot share a
+# build, hence the third tree.
+if [[ -f build-tsan/CMakeCache.txt ]] && \
+   ! grep -q '^MANET_TSAN:BOOL=ON' build-tsan/CMakeCache.txt; then
+  echo "error: build-tsan exists but was not configured with -DMANET_TSAN=ON" >&2
+  echo "       (stale or non-TSan cache — remove it and re-run:" >&2
+  echo "        rm -rf build-tsan && scripts/check.sh)" >&2
+  exit 1
+fi
+cmake -B build-tsan -S . -DMANET_TSAN=ON >/dev/null
+cmake --build build-tsan -j "$jobs" \
+    --target exp_test fabric_test fig5_detection_static
+./build-tsan/tests/exp_test >/dev/null
+./build-tsan/tests/fabric_test >/dev/null
+./build-tsan/bench/fig5_detection_static --loads=0.6 --pms=0,50 \
+    --sim_time=10 --runs=4 --threads=4 \
+    --json="$smoke_dir/tsan_fig5.json" >/dev/null
+grep -q '^{' "$smoke_dir/tsan_fig5.json" \
+  || { echo "empty JSON sink output under TSan"; exit 1; }
 
 echo "All checks passed."

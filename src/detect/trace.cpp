@@ -5,22 +5,10 @@
 #include <fstream>
 #include <type_traits>
 
+#include "util/crc32.hpp"
+
 namespace manet::detect {
 namespace {
-
-// --- CRC-32 (IEEE 802.3, reflected, table-driven) ---------------------------
-
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
 
 // --- Little-endian fixed-width (de)serialization ----------------------------
 
@@ -282,12 +270,7 @@ ObservationEvent get_event(ByteReader& r) {
 }  // namespace
 
 std::uint32_t trace_crc32(const std::uint8_t* data, std::size_t len) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < len; ++i) {
-    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
+  return util::crc32(data, len);
 }
 
 TraceWriter::TraceWriter(const TraceHeader& header) : header_(header) {

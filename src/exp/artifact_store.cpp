@@ -1,0 +1,117 @@
+#include "exp/artifact_store.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "crypto/md5.hpp"
+
+namespace manet::exp {
+
+namespace {
+
+/// RAII advisory lock on a dedicated lock file. `ok()` is false when the
+/// lock file could not be created (store degrades to lock-free).
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ >= 0) ::flock(fd_, LOCK_EX);
+  }
+  ~FileLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  bool ok() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (!in) return std::nullopt;
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, in)) > 0) bytes.append(buf, n);
+  std::fclose(in);
+  return bytes;
+}
+
+/// Writes `value` to `path` via unique temp + fsync + rename. Returns
+/// false on any failure (caller treats the store as best-effort).
+bool write_file_atomic(const std::string& path, const std::string& value) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (!out) return false;
+  bool ok = value.empty() ||
+            std::fwrite(value.data(), 1, value.size(), out) == value.size();
+  ok = ok && std::fflush(out) == 0 && ::fsync(::fileno(out)) == 0;
+  std::fclose(out);
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) ::unlink(tmp.c_str());
+  return ok;
+}
+
+}  // namespace
+
+bool atomic_file_update(
+    const std::string& path,
+    const std::function<std::string(const std::string&)>& update) {
+  FileLock lock(path + ".lock");
+  if (!lock.ok()) return false;
+  const std::string current = read_file(path).value_or("");
+  return write_file_atomic(path, update(current));
+}
+
+ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) {
+    if (const char* env = std::getenv("MANET_ARTIFACTS")) dir_ = env;
+  }
+  if (!dir_.empty()) {
+    ::mkdir(dir_.c_str(), 0755);  // one level, best-effort
+    while (!dir_.empty() && dir_.back() == '/') dir_.pop_back();
+  }
+}
+
+std::string ArtifactStore::entry_path(const std::string& key) const {
+  if (dir_.empty()) return "";
+  return dir_ + "/" + crypto::to_hex(crypto::Md5::hash(key)) + ".art";
+}
+
+std::optional<std::string> ArtifactStore::get(const std::string& key) const {
+  if (dir_.empty()) return std::nullopt;
+  return read_file(entry_path(key));
+}
+
+void ArtifactStore::put(const std::string& key, const std::string& value) const {
+  if (dir_.empty()) return;
+  write_file_atomic(entry_path(key), value);
+}
+
+std::string ArtifactStore::get_or_compute(
+    const std::string& key, const std::function<std::string()>& compute) const {
+  if (dir_.empty()) return compute();
+  if (auto hit = get(key)) return *hit;
+  FileLock lock(entry_path(key) + ".lock");
+  // Re-check under the lock: another process may have computed while we
+  // waited for it.
+  if (lock.ok()) {
+    if (auto hit = get(key)) return *hit;
+  }
+  std::string value = compute();
+  put(key, value);
+  return value;
+}
+
+}  // namespace manet::exp

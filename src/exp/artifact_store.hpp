@@ -1,0 +1,67 @@
+// Keyed, content-addressed artifact store shared across processes.
+//
+// Sharded sweeps repeat expensive derived computations per shard unless
+// something dedupes them: load calibrations, the serialized honest-
+// baseline trial logs ROC scoring needs, and anything else that is a pure
+// function of a describable key. The store maps an arbitrary key string
+// to an immutable byte blob in a directory ($MANET_ARTIFACTS or an
+// explicit path): the entry file is named by the md5 of the key, written
+// via temp file + fsync + atomic rename so readers never observe a
+// partial entry, and get_or_compute() holds an advisory flock for the
+// duration of the compute so N concurrent shards racing on a cold key
+// run the computation ONCE while the rest block and then read the result.
+//
+// The store is best-effort by design: with no directory configured it
+// degrades to compute-every-time, and I/O failures fall back to
+// computing locally rather than failing the sweep.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace manet::exp {
+
+/// Rewrites `path` atomically under an advisory lock: `update` receives
+/// the current content ("" when absent) and returns the replacement,
+/// which lands via temp file + fsync + rename. Concurrent callers
+/// serialize on `path + ".lock"`, so read-modify-write cycles (e.g. the
+/// rate cache merging a new entry) never lose each other's updates.
+/// Returns false (without calling `update`) when the lock file cannot be
+/// created.
+bool atomic_file_update(
+    const std::string& path,
+    const std::function<std::string(const std::string&)>& update);
+
+class ArtifactStore {
+ public:
+  /// `dir` empty means "use $MANET_ARTIFACTS if set, else disabled".
+  /// The directory is created (one level) on first use.
+  explicit ArtifactStore(std::string dir = "");
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Returns the stored blob for `key`, or nullopt on miss/disabled.
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// Durably stores `value` under `key` (atomic; last writer wins, but
+  /// entries are content-addressed by key so writers agree). Best-effort:
+  /// failures are swallowed.
+  void put(const std::string& key, const std::string& value) const;
+
+  /// get() or — under an exclusive advisory lock keyed by `key` —
+  /// compute, put, and return. The lock is held across `compute`, so
+  /// concurrent processes racing on the same cold key run it once.
+  /// With the store disabled, simply computes.
+  std::string get_or_compute(const std::string& key,
+                             const std::function<std::string()>& compute) const;
+
+  /// Filesystem path an entry for `key` would live at ("" if disabled).
+  std::string entry_path(const std::string& key) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace manet::exp

@@ -1,0 +1,74 @@
+#include "exp/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/md5.hpp"
+
+namespace manet::exp {
+
+namespace {
+
+constexpr const char* kTag = "MJRN1";
+
+}  // namespace
+
+CheckpointJournal::CheckpointJournal(std::string path,
+                                     const std::string& identity)
+    : path_(std::move(path)),
+      identity_md5_(crypto::to_hex(crypto::Md5::hash(identity))) {}
+
+std::optional<CheckpointJournal::State> CheckpointJournal::load() const {
+  std::FILE* in = std::fopen(path_.c_str(), "r");
+  if (!in) {
+    if (errno == ENOENT) return std::nullopt;
+    throw std::runtime_error("cannot open checkpoint journal: " + path_);
+  }
+  char tag[16] = {0};
+  char fp[64] = {0};
+  unsigned long long cells = 0;
+  unsigned long long offset = 0;
+  const int matched =
+      std::fscanf(in, "%15s %63s %llu %llu", tag, fp, &cells, &offset);
+  std::fclose(in);
+  if (matched != 4 || std::strcmp(tag, kTag) != 0) {
+    throw std::runtime_error("malformed checkpoint journal: " + path_);
+  }
+  if (identity_md5_ != fp) {
+    throw std::runtime_error(
+        "checkpoint journal " + path_ +
+        " belongs to a different sweep or shard (fingerprint " +
+        std::string(fp) + ", expected " + identity_md5_ +
+        ") — delete it or pick a different --checkpoint path");
+  }
+  return State{cells, offset};
+}
+
+void CheckpointJournal::commit(const State& state) const {
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "w");
+  if (!out) {
+    throw std::runtime_error("cannot write checkpoint journal: " + tmp);
+  }
+  std::fprintf(out, "%s %s %llu %llu\n", kTag, identity_md5_.c_str(),
+               static_cast<unsigned long long>(state.cells_done),
+               static_cast<unsigned long long>(state.sink_offset));
+  std::fflush(out);
+  ::fsync(::fileno(out));
+  std::fclose(out);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw std::runtime_error("cannot commit checkpoint journal: " + path_);
+  }
+}
+
+void CheckpointJournal::remove() const {
+  ::unlink(path_.c_str());
+  ::unlink((path_ + ".tmp").c_str());
+}
+
+}  // namespace manet::exp

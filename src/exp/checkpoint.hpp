@@ -1,0 +1,59 @@
+// Per-shard checkpoint journal: crash-safe progress for sharded sweeps.
+//
+// The fabric driver advances a shard in chunks of cells. After each chunk
+// it (1) flushes + fsyncs the result sink, then (2) commits the journal —
+// a single line
+//
+//   MJRN1 <md5(sweep fingerprint + shard)> <cells_done> <sink_offset>\n
+//
+// written to a temp file, fsync'd, and atomically renamed over the
+// journal path. Ordering the sink sync BEFORE the journal commit keeps
+// the invariant that the journal never claims more progress than the
+// sink durably holds: a crash between the two steps only loses the
+// journal update, and resume re-runs the last chunk from the previous
+// durable state. On resume the driver truncates the sink to
+// `sink_offset` (discarding any partially-written tail) and continues at
+// cell `cells_done`, which — with the deterministic flush cadence of the
+// columnar sink — reproduces the uninterrupted artifact byte for byte.
+//
+// The fingerprint field pins a journal to one (sweep, shard) identity so
+// a stale journal from a different sweep or shard is rejected instead of
+// silently corrupting a run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace manet::exp {
+
+class CheckpointJournal {
+ public:
+  struct State {
+    std::uint64_t cells_done = 0;   // cells durably sunk, from shard begin
+    std::uint64_t sink_offset = 0;  // durable byte size of the sink file
+  };
+
+  /// `identity` is any string pinning this journal to one (sweep, shard)
+  /// pair; it is md5-hashed into the journal line.
+  CheckpointJournal(std::string path, const std::string& identity);
+
+  /// Reads the journal if it exists. Returns nullopt when absent.
+  /// Throws std::runtime_error when present but malformed or written by
+  /// a different (sweep, shard) identity.
+  std::optional<State> load() const;
+
+  /// Durably commits `state`: temp file + fsync + atomic rename.
+  void commit(const State& state) const;
+
+  /// Deletes the journal (called after a shard completes).
+  void remove() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string identity_md5_;
+};
+
+}  // namespace manet::exp

@@ -1,0 +1,139 @@
+// Binary columnar result artifacts (.mcol) — the fabric's high-rate sink.
+//
+// The JSON sink renders every field with snprintf and repeats every key in
+// every record; at millions of (point, trial) cells the sink becomes the
+// sweep bottleneck and the artifact dwarfs the data in it. The columnar
+// sink writes the SAME exp::Record stream as a compact, CRC-framed,
+// little-endian binary that round-trips records exactly: reconstructing
+// the records and rendering them with Record::to_json reproduces the JSON
+// artifact byte for byte (tools/sweep_merge does exactly that).
+//
+// Layout (all integers little-endian, "varu" = LEB128, "str" = varu length
+// + bytes, "vari" = zigzag LEB128):
+//
+//   file   := [u32 magic 'MCOL'] block*
+//   block  := [u8 kind] [u32 payload_len] [u32 crc32(payload)] payload
+//   kind 0 := header: u32 version(=1), u32 meta_count,
+//             meta_count x (str key, str value)
+//   kind 1 := schema: u32 schema_id, u32 field_count,
+//             field_count x (str key, u8 type)       -- type = Value index
+//   kind 2 := data:   u32 schema_id, u32 record_count,
+//             record_count x varu cell_index,
+//             then one column per schema field, record-count entries each:
+//               double -> raw 8-byte IEEE754 (exact round-trip)
+//               int64  -> vari        uint64 -> varu       bool -> u8
+//               string -> varu dict_size, dict_size x str, varu ref x N
+//
+// A schema block is emitted the first time a record shape (ordered keys +
+// types) appears; data blocks hold up to kBlockRecords records of one
+// schema and close early on a schema change or an explicit flush().
+// Because flush points are a pure function of the record stream and the
+// checkpoint cadence, a killed-and-resumed shard reproduces the
+// uninterrupted shard's bytes exactly.
+//
+// The header meta identifies the shard for the merge tool: the
+// shard-independent sweep fingerprint, total cell count, and this file's
+// owned [cell_begin, cell_end) range. Readers validate magic, version,
+// every CRC, schema references, and that cell indices are non-decreasing
+// and inside the declared range; any violation throws with the defect
+// named.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/sink.hpp"
+
+namespace manet::exp {
+
+struct ColumnarMeta {
+  /// Shard-independent fingerprint of the generating sweep (bench name +
+  /// every content-affecting flag); merge refuses to mix files that
+  /// disagree.
+  std::string sweep;
+  std::string bench;
+  std::string shard = "0/1";  // "i/N", informational
+  std::uint64_t total_cells = 0;
+  std::uint64_t cell_begin = 0;
+  std::uint64_t cell_end = 0;
+  /// Free-form extra key/value pairs (not consulted by the merge tool).
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+class ColumnarFileSink final : public ResultSink {
+ public:
+  static constexpr std::size_t kBlockRecords = 512;
+
+  /// Opens (truncates) `path` and writes the header block.
+  ColumnarFileSink(std::string path, ColumnarMeta meta);
+
+  /// Reopens an existing shard artifact at a durable byte offset (from
+  /// the checkpoint journal): validates the header matches `meta`,
+  /// replays the blocks before `resume_offset` to rebuild the schema
+  /// table, truncates everything past the offset, and appends. Throws
+  /// std::runtime_error when the file is missing, shorter than the
+  /// offset, CRC-corrupt, or disagrees with `meta`.
+  ColumnarFileSink(std::string path, ColumnarMeta meta,
+                   std::uint64_t resume_offset);
+
+  ~ColumnarFileSink() override;
+
+  /// Stamps subsequent records with this cell index (the fabric driver
+  /// calls it before emitting a cell's records).
+  void begin_cell(std::uint64_t cell) { cell_ = cell; }
+
+  void record(const Record& r) override;
+  void flush() override;  // closes the open data block, fflushes
+
+  /// flush() + fsync; returns the durable byte size (the offset the
+  /// checkpoint journal records).
+  std::uint64_t sync();
+
+  const std::string& path() const { return path_; }
+  const ColumnarMeta& meta() const { return meta_; }
+
+ private:
+  void write_header();
+  void ensure_schema(const Record& r);
+  void close_block();
+  void write_block(std::uint8_t kind, const std::vector<std::uint8_t>& payload);
+
+  std::string path_;
+  ColumnarMeta meta_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t cell_ = 0;
+
+  // Registered schemas: signature -> id, in registration order.
+  std::vector<std::pair<std::string, std::uint32_t>> schemas_;
+
+  // The open data block, encoded column-wise as records arrive.
+  struct StringColumn {
+    std::vector<std::string> dict;       // insertion order
+    std::vector<std::uint32_t> refs;
+  };
+  std::uint32_t block_schema_id_ = 0;
+  std::vector<std::string> schema_keys_;   // current schema, field order
+  std::vector<std::uint8_t> schema_types_;
+  std::vector<std::uint64_t> cells_;
+  std::vector<std::vector<std::uint8_t>> scalar_columns_;  // raw/varint/bool
+  std::vector<StringColumn> string_columns_;               // parallel, by field
+  std::size_t block_records_ = 0;
+};
+
+/// A fully validated .mcol file: its meta and every (cell, record) pair
+/// in file order.
+struct ColumnarFile {
+  ColumnarMeta meta;
+  std::vector<std::pair<std::uint64_t, Record>> records;
+};
+
+/// Reads and fully validates `path` (magic, version, CRC framing, schema
+/// references, declared cell range, cell monotonicity). Throws
+/// std::runtime_error naming the defect on any violation.
+ColumnarFile read_columnar_file(const std::string& path);
+
+}  // namespace manet::exp

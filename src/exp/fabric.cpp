@@ -1,0 +1,132 @@
+#include "exp/fabric.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/config.hpp"
+
+namespace manet::exp {
+
+SweepFabric::SweepFabric(FabricConfig config) : config_(std::move(config)) {
+  if (!config_.checkpoint_path.empty()) {
+    if (config_.columnar_path.empty()) {
+      throw util::ConfigError(
+          "--checkpoint requires --columnar: the journal records a durable "
+          "byte offset into the columnar artifact");
+    }
+    if (!config_.json_path.empty()) {
+      throw util::ConfigError(
+          "--checkpoint cannot be combined with --json (a JSON array is not "
+          "resumable; derive it from the .mcol with sweep_merge)");
+    }
+    if (config_.checkpoint_cells == 0) {
+      throw util::ConfigError("--checkpoint-cells must be >= 1");
+    }
+  }
+
+  begin_ = config_.shard.begin(config_.total_cells);
+  end_ = config_.shard.end(config_.total_cells);
+
+  // The checkpoint identity pins the journal to this exact (sweep, shard)
+  // pair; the chunk size participates because resume assumes the previous
+  // attempt flushed at the same cadence.
+  if (!config_.checkpoint_path.empty()) {
+    const std::string identity = config_.sweep_fingerprint + "|shard=" +
+                                 config_.shard.str() + "|chunk=" +
+                                 std::to_string(config_.checkpoint_cells);
+    journal_ = std::make_unique<CheckpointJournal>(config_.checkpoint_path,
+                                                   identity);
+  }
+
+  ColumnarMeta meta;
+  meta.sweep = config_.sweep_fingerprint;
+  meta.bench = config_.bench;
+  meta.shard = config_.shard.str();
+  meta.total_cells = config_.total_cells;
+  meta.cell_begin = begin_;
+  meta.cell_end = end_;
+
+  std::optional<CheckpointJournal::State> state;
+  if (journal_) state = journal_->load();
+  if (state) {
+    done_ = state->cells_done;
+    if (begin_ + done_ > end_) {
+      throw std::runtime_error(
+          "checkpoint journal claims more cells than this shard owns: " +
+          config_.checkpoint_path);
+    }
+    columnar_ = std::make_unique<ColumnarFileSink>(config_.columnar_path, meta,
+                                                   state->sink_offset);
+    std::printf("# fabric: shard %s owns cells [%llu, %llu) of %llu; "
+                "resuming at cell %llu (%llu already durable)\n",
+                config_.shard.str().c_str(),
+                static_cast<unsigned long long>(begin_),
+                static_cast<unsigned long long>(end_),
+                static_cast<unsigned long long>(config_.total_cells),
+                static_cast<unsigned long long>(begin_ + done_),
+                static_cast<unsigned long long>(done_));
+  } else {
+    if (!config_.columnar_path.empty()) {
+      columnar_ = std::make_unique<ColumnarFileSink>(config_.columnar_path, meta);
+    }
+    if (!config_.json_path.empty()) {
+      json_ = std::make_unique<JsonFileSink>(config_.json_path,
+                                             config_.json_flush_records);
+    }
+    if (!config_.shard.is_serial()) {
+      std::printf("# fabric: shard %s owns cells [%llu, %llu) of %llu\n",
+                  config_.shard.str().c_str(),
+                  static_cast<unsigned long long>(begin_),
+                  static_cast<unsigned long long>(end_),
+                  static_cast<unsigned long long>(config_.total_cells));
+    }
+  }
+  std::fflush(stdout);
+}
+
+SweepFabric::~SweepFabric() = default;
+
+void SweepFabric::run(
+    const std::function<void(std::uint64_t, std::uint64_t)>& run_chunk) {
+  const std::uint64_t chunk =
+      journal_ ? config_.checkpoint_cells : (end_ - begin_);
+  std::uint64_t cursor = begin_ + done_;
+  while (cursor < end_) {
+    const std::uint64_t last = std::min(end_, cursor + std::max<std::uint64_t>(
+                                                          chunk, 1));
+    begin_cell(cursor);
+    run_chunk(cursor, last);
+    done_ += last - cursor;
+    cursor = last;
+    commit_chunk();
+  }
+  flush();
+  if (journal_) {
+    if (columnar_) columnar_->sync();
+    journal_->remove();
+  }
+}
+
+void SweepFabric::commit_chunk() {
+  if (!journal_) return;
+  // Sink durability FIRST, journal second: the journal must never claim
+  // progress the artifact does not hold.
+  const std::uint64_t offset = columnar_->sync();
+  journal_->commit({done_, offset});
+}
+
+void SweepFabric::begin_cell(std::uint64_t cell) {
+  if (columnar_) columnar_->begin_cell(cell);
+}
+
+void SweepFabric::record(const Record& r) {
+  if (json_) json_->record(r);
+  if (columnar_) columnar_->record(r);
+}
+
+void SweepFabric::flush() {
+  if (json_) json_->flush();
+  if (columnar_) columnar_->flush();
+}
+
+}  // namespace manet::exp

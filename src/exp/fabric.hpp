@@ -1,0 +1,96 @@
+// The distributed experiment fabric: one shard of a sweep, driven in
+// crash-safe chunks.
+//
+// A bench flattens its sweep into CELLS (exp/shard.hpp) and hands the
+// fabric the total count plus its shard spec; the fabric owns everything
+// process-shaped around the science:
+//
+//   * partitioning — which contiguous cell range this process computes,
+//   * sinks — the canonical JSON artifact and/or the binary columnar
+//     artifact (exp/columnar.hpp), with each record stamped by cell,
+//   * durability — after every chunk of cells the sinks are flushed,
+//     fsync'd, and the checkpoint journal (exp/checkpoint.hpp) commits
+//     {cells_done, sink_offset}; a killed shard resumes at the last
+//     durable chunk boundary and reproduces the uninterrupted artifact
+//     byte for byte.
+//
+// The bench stays in charge of HOW a chunk is computed (typically one
+// Engine::map over the chunk's (cell, trial) pairs — the fabric never
+// nests engine fan-outs): run() calls back with [first, last) cell
+// ranges, the bench computes them and emits records via begin_cell() /
+// record().
+//
+// Checkpointing requires the columnar sink and excludes the JSON sink:
+// a JSON array cannot be truncated to a durable prefix and appended to,
+// so a resumable run writes .mcol and derives the JSON artifact with
+// tools/sweep_merge afterwards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "exp/checkpoint.hpp"
+#include "exp/columnar.hpp"
+#include "exp/shard.hpp"
+#include "exp/sink.hpp"
+
+namespace manet::exp {
+
+struct FabricConfig {
+  std::uint64_t total_cells = 0;
+  ShardSpec shard;
+  /// Shard-independent sweep fingerprint (bench name + content flags);
+  /// stamped into the columnar header and the checkpoint identity.
+  std::string sweep_fingerprint;
+  std::string bench;
+  std::string json_path;        // "" = no JSON artifact
+  std::string columnar_path;    // "" = no columnar artifact
+  std::string checkpoint_path;  // "" = no checkpoint/resume
+  /// Chunk size: cells per flush + fsync + journal commit.
+  std::uint64_t checkpoint_cells = 16;
+  /// JSON sink record-count flush trigger (0 = size-based only).
+  std::size_t json_flush_records = 0;
+};
+
+class SweepFabric final : public ResultSink {
+ public:
+  /// Validates the config, opens sinks, and — when a checkpoint journal
+  /// from a previous attempt exists — positions the run at the last
+  /// durable chunk boundary. Throws util::ConfigError on config misuse
+  /// and std::runtime_error on unusable journal/artifact state.
+  explicit SweepFabric(FabricConfig config);
+  ~SweepFabric() override;
+
+  std::uint64_t cell_begin() const { return begin_; }
+  std::uint64_t cell_end() const { return end_; }
+  /// First cell run() will actually compute (> cell_begin after resume).
+  std::uint64_t resume_cell() const { return begin_ + done_; }
+  bool resumed() const { return done_ != 0; }
+
+  /// Drives the shard: calls run_chunk(first, last) for consecutive
+  /// chunk-sized cell ranges from resume_cell() to cell_end(), committing
+  /// durability after each. On completion flushes sinks and deletes the
+  /// journal.
+  void run(const std::function<void(std::uint64_t first, std::uint64_t last)>&
+               run_chunk);
+
+  /// Record emission (called by the bench inside run_chunk).
+  void begin_cell(std::uint64_t cell);
+  void record(const Record& r) override;
+  void flush() override;
+
+ private:
+  void commit_chunk();
+
+  FabricConfig config_;
+  std::uint64_t begin_ = 0;
+  std::uint64_t end_ = 0;
+  std::uint64_t done_ = 0;  // cells durably complete, relative to begin_
+  std::unique_ptr<JsonFileSink> json_;
+  std::unique_ptr<ColumnarFileSink> columnar_;
+  std::unique_ptr<CheckpointJournal> journal_;
+};
+
+}  // namespace manet::exp

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "exp/artifact_store.hpp"
 #include "net/network.hpp"
 
 namespace manet::exp {
@@ -17,10 +18,18 @@ std::string format_load(double load) {
   return buf;
 }
 
-/// Folds every scenario field that changes the load <-> rate mapping into
-/// a single token (calibration probes depend on topology, traffic shape,
-/// mobility, MAC timing and the seed of the probe run).
-std::string make_fingerprint(const net::ScenarioConfig& s) {
+/// The flow layout every detection bench calibrates against: one flow at
+/// the monitored center pair plus the configured random background flows.
+void default_setup(net::Network& net) {
+  const NodeId s = net.center_node();
+  const auto nbrs = net.neighbors(s, net.config().prop.tx_range_m, 0);
+  if (!nbrs.empty()) net.add_flow(s, nbrs.front(), 1.0);
+  net.build_random_flows();
+}
+
+}  // namespace
+
+std::string scenario_fingerprint(const net::ScenarioConfig& s) {
   std::ostringstream out;
   out << "v1"
       << "|topo=" << static_cast<int>(s.topology) << ":" << s.grid_rows << "x"
@@ -41,21 +50,10 @@ std::string make_fingerprint(const net::ScenarioConfig& s) {
   return out.str();
 }
 
-/// The flow layout every detection bench calibrates against: one flow at
-/// the monitored center pair plus the configured random background flows.
-void default_setup(net::Network& net) {
-  const NodeId s = net.center_node();
-  const auto nbrs = net.neighbors(s, net.config().prop.tx_range_m, 0);
-  if (!nbrs.empty()) net.add_flow(s, nbrs.front(), 1.0);
-  net.build_random_flows();
-}
-
-}  // namespace
-
 RateCache::RateCache(net::ScenarioConfig scenario, std::string cache_file,
                      Calibrator calibrate)
     : scenario_(std::move(scenario)),
-      fingerprint_(make_fingerprint(scenario_)),
+      fingerprint_(scenario_fingerprint(scenario_)),
       cache_file_(std::move(cache_file)),
       calibrate_(std::move(calibrate)) {
   if (cache_file_.empty()) {
@@ -119,11 +117,26 @@ bool RateCache::file_lookup(double load, double* rate) const {
 
 void RateCache::file_store(double load, double rate) const {
   if (cache_file_.empty()) return;
-  std::ofstream out(cache_file_, std::ios::app);
-  if (!out) return;  // cache is best-effort; calibration already succeeded
+  // Concurrent bench processes (sharded sweeps!) may store entries at the
+  // same time; a plain append can interleave partial lines. Rewrite the
+  // file atomically under an advisory lock, merging our entry into
+  // whatever the file holds by then — the cache is best-effort, so a
+  // failure to lock or write just means this calibration is not shared.
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.17g", rate);
-  out << fingerprint_ << " " << format_load(load) << " " << buf << "\n";
+  const std::string entry =
+      fingerprint_ + " " + format_load(load) + " " + buf + "\n";
+  const std::string key_prefix = fingerprint_ + " " + format_load(load) + " ";
+  atomic_file_update(cache_file_, [&](const std::string& current) {
+    std::istringstream in(current);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.compare(0, key_prefix.size(), key_prefix) == 0) {
+        return current;  // another process stored this load first
+      }
+    }
+    return current + entry;
+  });
 }
 
 }  // namespace manet::exp

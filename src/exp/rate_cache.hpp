@@ -23,6 +23,13 @@
 
 namespace manet::exp {
 
+/// Folds every scenario field that changes the load <-> rate mapping into
+/// a single token (calibration probes depend on topology, traffic shape,
+/// mobility, MAC timing and the seed of the probe run). Shared with the
+/// fabric's artifact keys: anything derived from a scenario's simulations
+/// is content-addressed by this fingerprint.
+std::string scenario_fingerprint(const net::ScenarioConfig& s);
+
 class RateCache {
  public:
   /// Probe hook (tests substitute a counting stub for the real simulations).

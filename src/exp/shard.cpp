@@ -1,0 +1,51 @@
+#include "exp/shard.hpp"
+
+#include <algorithm>
+
+#include "util/config.hpp"
+
+namespace manet::exp {
+
+ShardSpec ShardSpec::parse(const std::string& text) {
+  const auto fail = [&text]() -> ShardSpec {
+    throw util::ConfigError("'" + text +
+                            "' is not a shard spec (expected i/N with "
+                            "0 <= i < N, e.g. 0/4)");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 == text.size()) {
+    return fail();
+  }
+  const std::string left = text.substr(0, slash);
+  const std::string right = text.substr(slash + 1);
+  for (const std::string& part : {left, right}) {
+    if (part.empty() || part.size() > 9) return fail();
+    for (char c : part) {
+      if (c < '0' || c > '9') return fail();
+    }
+  }
+  ShardSpec spec;
+  spec.index = static_cast<std::uint32_t>(std::stoul(left));
+  spec.count = static_cast<std::uint32_t>(std::stoul(right));
+  if (spec.count == 0 || spec.index >= spec.count) return fail();
+  return spec;
+}
+
+std::string ShardSpec::str() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+std::uint64_t ShardSpec::begin(std::uint64_t cells) const {
+  const std::uint64_t base = cells / count;
+  const std::uint64_t rem = cells % count;
+  return static_cast<std::uint64_t>(index) * base +
+         std::min<std::uint64_t>(index, rem);
+}
+
+std::uint64_t ShardSpec::end(std::uint64_t cells) const {
+  const std::uint64_t base = cells / count;
+  const std::uint64_t rem = cells % count;
+  return begin(cells) + base + (index < rem ? 1 : 0);
+}
+
+}  // namespace manet::exp

@@ -6,6 +6,14 @@
 
 namespace manet::exp {
 
+namespace {
+
+// Buffered JSON writes hit the stream at this size even when no record
+// count trigger is configured, bounding sink memory on huge sweeps.
+constexpr std::size_t kJsonBufferBytes = 64 * 1024;
+
+}  // namespace
+
 std::string json_escape(const std::string& text) {
   std::string out;
   out.reserve(text.size());
@@ -30,42 +38,61 @@ std::string json_escape(const std::string& text) {
 }
 
 Record& Record::add(const std::string& key, double value) {
-  char buf[64];
-  if (!std::isfinite(value)) {
-    // JSON has no NaN/Inf; null keeps the record parseable.
-    fields_.emplace_back(key, "null");
-    return *this;
-  }
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  fields_.emplace_back(key, buf);
+  fields_.push_back(Field{key, Value{value}});
   return *this;
 }
 
 Record& Record::add(const std::string& key, std::int64_t value) {
-  fields_.emplace_back(key, std::to_string(value));
+  fields_.push_back(Field{key, Value{value}});
   return *this;
 }
 
 Record& Record::add(const std::string& key, std::uint64_t value) {
-  fields_.emplace_back(key, std::to_string(value));
+  fields_.push_back(Field{key, Value{value}});
   return *this;
 }
 
 Record& Record::add(const std::string& key, bool value) {
-  fields_.emplace_back(key, value ? "true" : "false");
+  fields_.push_back(Field{key, Value{value}});
   return *this;
 }
 
 Record& Record::add(const std::string& key, const std::string& value) {
-  fields_.emplace_back(key, "\"" + json_escape(value) + "\"");
+  fields_.push_back(Field{key, Value{value}});
   return *this;
+}
+
+Record& Record::add_field(Field field) {
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+std::string Record::render_value(const Value& value) {
+  switch (value.index()) {
+    case 0: {
+      const double d = std::get<double>(value);
+      if (!std::isfinite(d)) return "null";  // JSON has no NaN/Inf
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      return buf;
+    }
+    case 1:
+      return std::to_string(std::get<std::int64_t>(value));
+    case 2:
+      return std::to_string(std::get<std::uint64_t>(value));
+    case 3:
+      return std::get<bool>(value) ? "true" : "false";
+    default:
+      return "\"" + json_escape(std::get<std::string>(value)) + "\"";
+  }
 }
 
 std::string Record::to_json() const {
   std::string out = "{";
   for (std::size_t i = 0; i < fields_.size(); ++i) {
     if (i != 0) out += ", ";
-    out += "\"" + json_escape(fields_[i].first) + "\": " + fields_[i].second;
+    out += "\"" + json_escape(fields_[i].key) + "\": " +
+           render_value(fields_[i].value);
   }
   out += "}";
   return out;
@@ -81,32 +108,51 @@ std::vector<Record> MemorySink::records() const {
   return records_;
 }
 
-JsonFileSink::JsonFileSink(std::string path) : path_(std::move(path)) {
+JsonFileSink::JsonFileSink(std::string path, std::size_t flush_records)
+    : path_(std::move(path)), flush_records_(flush_records) {
   file_ = std::fopen(path_.c_str(), "w");
   if (!file_) {
     throw std::runtime_error("cannot open JSON sink file: " + path_);
   }
-  std::fputs("[\n", file_);
+  buffer_ = "[\n";
 }
 
 JsonFileSink::~JsonFileSink() {
   std::lock_guard lock(mutex_);
   if (file_) {
-    std::fputs("\n]\n", file_);
+    buffer_ += "\n]\n";
+    write_buffer_locked();
     std::fclose(file_);
   }
 }
 
 void JsonFileSink::record(const Record& r) {
   std::lock_guard lock(mutex_);
-  if (!first_) std::fputs(",\n", file_);
+  if (!first_) buffer_ += ",\n";
   first_ = false;
-  std::fputs(r.to_json().c_str(), file_);
+  buffer_ += r.to_json();
+  ++buffered_records_;
+  if (buffer_.size() >= kJsonBufferBytes ||
+      (flush_records_ != 0 && buffered_records_ >= flush_records_)) {
+    write_buffer_locked();
+    if (flush_records_ != 0) std::fflush(file_);
+  }
 }
 
 void JsonFileSink::flush() {
   std::lock_guard lock(mutex_);
-  if (file_) std::fflush(file_);
+  if (file_) {
+    write_buffer_locked();
+    std::fflush(file_);
+  }
+}
+
+void JsonFileSink::write_buffer_locked() {
+  if (!buffer_.empty()) {
+    std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    buffer_.clear();
+  }
+  buffered_records_ = 0;
 }
 
 void MultiSink::add(std::shared_ptr<ResultSink> sink) {

@@ -3,11 +3,16 @@
 // Sweep benches historically printed human tables only; the engine adds a
 // machine-readable channel: every sweep point produces one flat Record
 // (config + measured rates + wall-clock) that is pushed into a pluggable
-// ResultSink. The JSON sink writes a single well-formed JSON array with
-// one object per record — the BENCH_*.json artifacts collected by
-// bench/run_all.sh. Sinks are thread-safe: trials may record from worker
-// threads, although the benches record from the aggregation thread so the
-// record order itself stays deterministic.
+// ResultSink. Records store TYPED values (double / int64 / uint64 / bool /
+// string) so sinks can pick their own encoding: the JSON sink renders the
+// canonical text artifact (one object per record — the BENCH_*.json files
+// collected by bench/run_all.sh), the columnar sink (exp/columnar.hpp)
+// writes the same records as a compact CRC-framed binary. A record
+// round-tripped through either sink renders the identical JSON.
+//
+// Sinks are thread-safe: trials may record from worker threads, although
+// the benches record from the aggregation thread so the record order
+// itself stays deterministic.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +21,7 @@
 #include <mutex>
 #include <string>
 #include <utility>
+#include <variant>
 #include <vector>
 
 namespace manet::exp {
@@ -23,9 +29,19 @@ namespace manet::exp {
 /// Escapes a string for embedding in a JSON string literal (no quotes).
 std::string json_escape(const std::string& text);
 
-/// One flat record: an ordered list of key -> scalar fields.
+/// One flat record: an ordered list of key -> typed scalar fields.
 class Record {
  public:
+  /// Field value. The variant index is the stable on-disk type tag of the
+  /// columnar format (exp/columnar.hpp) — append-only, never reorder.
+  using Value =
+      std::variant<double, std::int64_t, std::uint64_t, bool, std::string>;
+
+  struct Field {
+    std::string key;
+    Value value;
+  };
+
   Record& add(const std::string& key, double value);
   Record& add(const std::string& key, std::int64_t value);
   Record& add(const std::string& key, std::uint64_t value);
@@ -40,15 +56,20 @@ class Record {
   Record& add(const std::string& key, const char* value) {
     return add(key, std::string(value));
   }
+  Record& add_field(Field field);
 
-  /// Renders {"key": value, ...} preserving insertion order.
+  /// Renders {"key": value, ...} preserving insertion order. Non-finite
+  /// doubles render as null (JSON has no NaN/Inf).
   std::string to_json() const;
 
+  /// Renders one value as a JSON literal (shared with the merge tool).
+  static std::string render_value(const Value& value);
+
+  const std::vector<Field>& fields() const { return fields_; }
   bool empty() const { return fields_.empty(); }
 
  private:
-  // Values are stored pre-rendered as JSON literals.
-  std::vector<std::pair<std::string, std::string>> fields_;
+  std::vector<Field> fields_;
 };
 
 class ResultSink {
@@ -76,10 +97,17 @@ class MemorySink final : public ResultSink {
 };
 
 /// Writes a JSON array of record objects to a file, one object per line.
+///
+/// Writes are buffered: rendered records accumulate in memory and reach
+/// the stream when the buffer passes ~64 KiB, when `flush_records` records
+/// have been buffered since the last write (0 disables the count trigger),
+/// or on an explicit flush(). flush() also fflushes the stream, so a
+/// checkpointing driver that flushes at every durability point composes
+/// with the buffering instead of fighting it.
 class JsonFileSink final : public ResultSink {
  public:
   /// Opens (truncates) `path`; throws std::runtime_error on failure.
-  explicit JsonFileSink(std::string path);
+  explicit JsonFileSink(std::string path, std::size_t flush_records = 0);
   ~JsonFileSink() override;
 
   void record(const Record& r) override;
@@ -88,9 +116,14 @@ class JsonFileSink final : public ResultSink {
   const std::string& path() const { return path_; }
 
  private:
+  void write_buffer_locked();
+
   std::mutex mutex_;
   std::string path_;
   std::FILE* file_ = nullptr;
+  std::string buffer_;
+  std::size_t flush_records_ = 0;
+  std::size_t buffered_records_ = 0;
   bool first_ = true;
 };
 

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320, table-driven).
+//
+// One shared checksum for every CRC-framed binary format in the repo: the
+// .mtrace observation traces (detect/trace.hpp) and the .mcol columnar
+// result artifacts (exp/columnar.hpp). Both formats frame each block as
+// [length][crc32(payload)][payload] so truncation and corruption are
+// detected eagerly at read time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace manet::util {
+
+/// CRC-32 of `data`; crc32(nullptr, 0) == 0.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+
+}  // namespace manet::util

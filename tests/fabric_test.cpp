@@ -1,0 +1,494 @@
+// Tests for the distributed experiment fabric (src/exp/): shard ranges,
+// the binary columnar sink and its reader, checkpoint journals with
+// kill-and-resume byte equivalence, the keyed artifact store, and the
+// buffered JSON sink's record-count flush trigger.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/artifact_store.hpp"
+#include "exp/checkpoint.hpp"
+#include "exp/columnar.hpp"
+#include "exp/fabric.hpp"
+#include "exp/shard.hpp"
+#include "exp/sink.hpp"
+#include "util/config.hpp"
+
+namespace manet::exp {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "fabric_test_" + name;
+}
+
+// ---------------------------------------------------------------- shards
+
+TEST(ShardSpec, ParsesAndPrints) {
+  const ShardSpec s = ShardSpec::parse("2/5");
+  EXPECT_EQ(s.index, 2u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.str(), "2/5");
+  EXPECT_TRUE(ShardSpec::parse("0/1").is_serial());
+  EXPECT_FALSE(s.is_serial());
+}
+
+TEST(ShardSpec, RejectsMalformedSpecs) {
+  for (const char* bad : {"", "/", "1", "1/", "/4", "4/4", "5/4", "-1/4",
+                          "a/4", "1/b", "1/0", "0/0", "1/4x", "1 /4"}) {
+    EXPECT_THROW(ShardSpec::parse(bad), util::ConfigError) << bad;
+  }
+}
+
+TEST(ShardSpec, RangesTileBalancedAndOrdered) {
+  for (std::uint64_t cells : {0ull, 1ull, 5ull, 16ull, 97ull}) {
+    for (std::uint32_t n : {1u, 2u, 3u, 7u, 16u, 50u}) {
+      std::uint64_t expect = 0;
+      std::uint64_t min_size = cells + 1;
+      std::uint64_t max_size = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const ShardSpec s{i, n};
+        ASSERT_EQ(s.begin(cells), expect) << cells << " " << s.str();
+        ASSERT_LE(s.begin(cells), s.end(cells));
+        const std::uint64_t size = s.end(cells) - s.begin(cells);
+        min_size = std::min(min_size, size);
+        max_size = std::max(max_size, size);
+        expect = s.end(cells);
+      }
+      EXPECT_EQ(expect, cells);
+      EXPECT_LE(max_size - min_size, 1u) << cells << "/" << n;
+      if (n > cells) {  // trailing shards own empty ranges, not errors
+        const ShardSpec last{n - 1, n};
+        EXPECT_EQ(last.begin(cells), last.end(cells));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- columnar
+
+Record cell_record(std::uint64_t cell) {
+  Record r;
+  r.add("bench", "fabric_test")
+      .add("cell", cell)
+      .add("value", 0.25 * static_cast<double>(cell) + 0.1)
+      .add("offset", static_cast<std::int64_t>(17 - 5 * (cell % 8)))
+      .add("even", cell % 2 == 0);
+  return r;
+}
+
+// A second shape so schema registration and block switching are exercised.
+Record detail_record(std::uint64_t cell) {
+  Record r;
+  r.add("bench", "fabric_test")
+      .add("cell", cell)
+      .add("note", cell % 2 == 0 ? "even-cell" : "odd-cell");
+  return r;
+}
+
+void emit_cells(ColumnarFileSink& sink, std::uint64_t first,
+                std::uint64_t last) {
+  for (std::uint64_t cell = first; cell < last; ++cell) {
+    sink.begin_cell(cell);
+    sink.record(cell_record(cell));
+    if (cell % 3 == 0) sink.record(detail_record(cell));
+  }
+}
+
+ColumnarMeta test_meta(std::uint64_t cells) {
+  ColumnarMeta meta;
+  meta.sweep = "sweep1|fabric_test|x=1";
+  meta.bench = "fabric_test";
+  meta.total_cells = cells;
+  meta.cell_begin = 0;
+  meta.cell_end = cells;
+  return meta;
+}
+
+TEST(Columnar, RoundTripsRecordsExactly) {
+  const std::string path = temp_path("roundtrip.mcol");
+  const std::uint64_t cells = 2 * ColumnarFileSink::kBlockRecords + 37;
+  {
+    ColumnarFileSink sink(path, test_meta(cells));
+    emit_cells(sink, 0, cells);
+  }
+  const ColumnarFile file = read_columnar_file(path);
+  EXPECT_EQ(file.meta.sweep, "sweep1|fabric_test|x=1");
+  EXPECT_EQ(file.meta.bench, "fabric_test");
+  EXPECT_EQ(file.meta.total_cells, cells);
+  EXPECT_EQ(file.meta.cell_begin, 0u);
+  EXPECT_EQ(file.meta.cell_end, cells);
+
+  std::size_t i = 0;
+  for (std::uint64_t cell = 0; cell < cells; ++cell) {
+    ASSERT_LT(i, file.records.size());
+    EXPECT_EQ(file.records[i].first, cell);
+    EXPECT_EQ(file.records[i].second.to_json(), cell_record(cell).to_json());
+    ++i;
+    if (cell % 3 == 0) {
+      ASSERT_LT(i, file.records.size());
+      EXPECT_EQ(file.records[i].first, cell);
+      EXPECT_EQ(file.records[i].second.to_json(),
+                detail_record(cell).to_json());
+      ++i;
+    }
+  }
+  EXPECT_EQ(i, file.records.size());
+  std::remove(path.c_str());
+}
+
+TEST(Columnar, PreservesNonFiniteDoublesUnlikeJson) {
+  const std::string path = temp_path("nonfinite.mcol");
+  Record r;
+  r.add("nan", std::nan("")).add("inf", 1.0 / 0.0);
+  {
+    ColumnarFileSink sink(path, test_meta(1));
+    sink.begin_cell(0);
+    sink.record(r);
+  }
+  const ColumnarFile file = read_columnar_file(path);
+  ASSERT_EQ(file.records.size(), 1u);
+  // JSON renders non-finite as null; the binary codec must still agree.
+  EXPECT_EQ(file.records[0].second.to_json(), r.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(Columnar, RejectsCorruptTruncatedAndForeignFiles) {
+  const std::string path = temp_path("corrupt.mcol");
+  {
+    ColumnarFileSink sink(path, test_meta(40));
+    emit_cells(sink, 0, 40);
+  }
+  const std::string good = slurp(path);
+  ASSERT_GT(good.size(), 64u);
+
+  // Flip one payload byte: the block CRC must catch it.
+  std::string corrupt = good;
+  corrupt[good.size() - 10] ^= 0x40;
+  spit(path, corrupt);
+  EXPECT_THROW(read_columnar_file(path), std::runtime_error);
+
+  // Chop the tail mid-block: truncation must be detected, not ignored.
+  spit(path, good.substr(0, good.size() - 5));
+  EXPECT_THROW(read_columnar_file(path), std::runtime_error);
+
+  // Not a columnar file at all.
+  spit(path, "[\n{\"bench\": \"fabric_test\"}\n]\n");
+  EXPECT_THROW(read_columnar_file(path), std::runtime_error);
+
+  EXPECT_THROW(read_columnar_file(path + ".does-not-exist"),
+               std::runtime_error);
+
+  spit(path, good);
+  EXPECT_NO_THROW(read_columnar_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(Columnar, ResumeReproducesUninterruptedBytes) {
+  const std::string ref_path = temp_path("resume_ref.mcol");
+  const std::string res_path = temp_path("resume_res.mcol");
+  const std::uint64_t cells = ColumnarFileSink::kBlockRecords + 100;
+  const std::uint64_t cut = 300;
+
+  // Uninterrupted reference. sync() at the cut so the flush cadence
+  // matches the interrupted attempt (flush points are part of the bytes).
+  {
+    ColumnarFileSink sink(ref_path, test_meta(cells));
+    emit_cells(sink, 0, cut);
+    sink.sync();
+    emit_cells(sink, cut, cells);
+  }
+
+  // Attempt 1: durable through `cut`, then a partial tail (as a killed
+  // process would leave) that resume must discard.
+  std::uint64_t offset = 0;
+  {
+    ColumnarFileSink sink(res_path, test_meta(cells));
+    emit_cells(sink, 0, cut);
+    offset = sink.sync();
+    emit_cells(sink, cut, cut + 40);  // never synced: lost on the "crash"
+  }
+  ASSERT_GT(offset, 0u);
+
+  // Attempt 2: reopen at the durable offset and finish the shard.
+  {
+    ColumnarFileSink sink(res_path, test_meta(cells), offset);
+    emit_cells(sink, cut, cells);
+  }
+  EXPECT_EQ(slurp(res_path), slurp(ref_path));
+
+  // A resume against a different sweep must be refused.
+  ColumnarMeta other = test_meta(cells);
+  other.sweep = "sweep1|fabric_test|x=2";
+  EXPECT_THROW(ColumnarFileSink(res_path, other, offset), std::runtime_error);
+  // ... as must an offset beyond the file.
+  EXPECT_THROW(ColumnarFileSink(res_path, test_meta(cells), 1u << 30),
+               std::runtime_error);
+
+  std::remove(ref_path.c_str());
+  std::remove(res_path.c_str());
+}
+
+// ----------------------------------------------------------- checkpoint
+
+TEST(CheckpointJournal, RoundTripsAndPinsIdentity) {
+  const std::string path = temp_path("journal");
+  const CheckpointJournal journal(path, "sweep1|fabric_test|shard=0/2");
+  EXPECT_FALSE(journal.load().has_value());
+
+  journal.commit({12, 3456});
+  const auto state = journal.load();
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->cells_done, 12u);
+  EXPECT_EQ(state->sink_offset, 3456u);
+
+  // Same path, different (sweep, shard) identity: stale journal refused.
+  const CheckpointJournal other(path, "sweep1|fabric_test|shard=1/2");
+  EXPECT_THROW(other.load(), std::runtime_error);
+
+  // Garbage content refused.
+  spit(path, "not a journal\n");
+  EXPECT_THROW(journal.load(), std::runtime_error);
+
+  journal.remove();
+  EXPECT_FALSE(journal.load().has_value());
+}
+
+// ------------------------------------------------------- artifact store
+
+TEST(ArtifactStore, DisabledStoreComputesEveryTime) {
+  ::unsetenv("MANET_ARTIFACTS");
+  const ArtifactStore store;
+  EXPECT_FALSE(store.enabled());
+  EXPECT_FALSE(store.get("k").has_value());
+  EXPECT_EQ(store.entry_path("k"), "");
+  int computes = 0;
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(store.get_or_compute("k",
+                                   [&] {
+                                     ++computes;
+                                     return std::string("v");
+                                   }),
+              "v");
+  }
+  EXPECT_EQ(computes, 2);
+}
+
+TEST(ArtifactStore, ComputesOnceThenServesHits) {
+  const std::string dir = temp_path("store");
+  const ArtifactStore store(dir);
+  ASSERT_TRUE(store.enabled());
+  // The directory persists across test runs: start from a clean slate.
+  for (const char* key : {"key-a", "key-b"}) {
+    std::remove(store.entry_path(key).c_str());
+    std::remove((store.entry_path(key) + ".lock").c_str());
+  }
+  EXPECT_FALSE(store.get("key-a").has_value());
+
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return std::string("blob-a\x01\x02 with binary bytes");
+  };
+  EXPECT_EQ(store.get_or_compute("key-a", compute),
+            "blob-a\x01\x02 with binary bytes");
+  EXPECT_EQ(store.get_or_compute("key-a", compute),
+            "blob-a\x01\x02 with binary bytes");
+  EXPECT_EQ(computes, 1);
+
+  // Distinct keys do not collide; a second store on the same dir sees the
+  // entries (cross-process sharing is path-based).
+  store.put("key-b", "blob-b");
+  const ArtifactStore reopened(dir);
+  EXPECT_EQ(reopened.get("key-a").value_or(""),
+            "blob-a\x01\x02 with binary bytes");
+  EXPECT_EQ(reopened.get("key-b").value_or(""), "blob-b");
+  EXPECT_NE(store.entry_path("key-a"), store.entry_path("key-b"));
+}
+
+TEST(ArtifactStore, AtomicFileUpdateMergesSequentialWriters) {
+  const std::string path = temp_path("merged.cache");
+  std::remove(path.c_str());
+  EXPECT_TRUE(atomic_file_update(
+      path, [](const std::string& cur) { return cur + "line-1\n"; }));
+  EXPECT_TRUE(atomic_file_update(
+      path, [](const std::string& cur) { return cur + "line-2\n"; }));
+  EXPECT_EQ(slurp(path), "line-1\nline-2\n");
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+// ------------------------------------------------------------ JSON sink
+
+TEST(JsonFileSink, FlushRecordsTriggerMakesRecordsDurableEarly) {
+  const std::string eager_path = temp_path("eager.json");
+  const std::string lazy_path = temp_path("lazy.json");
+  {
+    JsonFileSink eager(eager_path, /*flush_records=*/2);
+    JsonFileSink lazy(lazy_path);  // size-based flushing only
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      eager.record(cell_record(i));
+      lazy.record(cell_record(i));
+    }
+    // The count trigger has pushed the eager sink's records to disk while
+    // the lazy sink still holds everything in its 64 KiB buffer.
+    EXPECT_GT(slurp(eager_path).size(), 100u);
+    EXPECT_EQ(slurp(lazy_path).size(), 0u);
+  }
+  // Same bytes once both sinks close: buffering must not change the text.
+  EXPECT_EQ(slurp(eager_path), slurp(lazy_path));
+  std::remove(eager_path.c_str());
+  std::remove(lazy_path.c_str());
+}
+
+// --------------------------------------------------------------- fabric
+
+FabricConfig fabric_config(std::uint64_t cells, const std::string& shard,
+                           const std::string& tag) {
+  FabricConfig config;
+  config.total_cells = cells;
+  config.shard = ShardSpec::parse(shard);
+  config.sweep_fingerprint = "sweep1|fabric_test|x=1";
+  config.bench = "fabric_test";
+  config.columnar_path = temp_path(tag + ".mcol");
+  return config;
+}
+
+void run_fabric(SweepFabric& fabric) {
+  fabric.run([&](std::uint64_t first, std::uint64_t last) {
+    for (std::uint64_t cell = first; cell < last; ++cell) {
+      fabric.begin_cell(cell);
+      fabric.record(cell_record(cell));
+      if (cell % 3 == 0) fabric.record(detail_record(cell));
+    }
+  });
+}
+
+TEST(SweepFabric, ValidatesCheckpointConfig) {
+  FabricConfig config = fabric_config(4, "0/1", "validate");
+  config.checkpoint_path = config.columnar_path + ".ckpt";
+  config.columnar_path = "";
+  EXPECT_THROW(SweepFabric{config}, util::ConfigError);  // needs --columnar
+
+  config = fabric_config(4, "0/1", "validate");
+  config.checkpoint_path = config.columnar_path + ".ckpt";
+  config.json_path = temp_path("validate.json");
+  EXPECT_THROW(SweepFabric{config}, util::ConfigError);  // excludes --json
+
+  config = fabric_config(4, "0/1", "validate");
+  config.checkpoint_path = config.columnar_path + ".ckpt";
+  config.checkpoint_cells = 0;
+  EXPECT_THROW(SweepFabric{config}, util::ConfigError);
+}
+
+TEST(SweepFabric, ShardConcatenationMatchesSerial) {
+  const std::uint64_t cells = 7;
+  FabricConfig serial = fabric_config(cells, "0/1", "serial");
+  {
+    SweepFabric fabric(serial);
+    run_fabric(fabric);
+  }
+  const ColumnarFile reference = read_columnar_file(serial.columnar_path);
+  ASSERT_FALSE(reference.records.empty());
+
+  for (std::uint32_t n : {2u, 3u, 7u, 9u}) {  // 9 > cells: empty shards
+    std::vector<std::pair<std::uint64_t, Record>> merged;
+    std::uint64_t expect = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      FabricConfig config = fabric_config(
+          cells, std::to_string(i) + "/" + std::to_string(n),
+          "shard_" + std::to_string(i) + "_" + std::to_string(n));
+      {
+        SweepFabric fabric(config);
+        run_fabric(fabric);
+      }
+      const ColumnarFile shard = read_columnar_file(config.columnar_path);
+      EXPECT_EQ(shard.meta.cell_begin, expect);
+      expect = shard.meta.cell_end;
+      for (const auto& rec : shard.records) merged.push_back(rec);
+      std::remove(config.columnar_path.c_str());
+    }
+    EXPECT_EQ(expect, cells);
+    ASSERT_EQ(merged.size(), reference.records.size()) << "N=" << n;
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(merged[i].first, reference.records[i].first);
+      EXPECT_EQ(merged[i].second.to_json(),
+                reference.records[i].second.to_json());
+    }
+  }
+  std::remove(serial.columnar_path.c_str());
+}
+
+TEST(SweepFabric, KilledShardResumesToIdenticalArtifact) {
+  const std::uint64_t cells = 11;
+
+  // Uninterrupted run WITH checkpointing: the reference bytes include the
+  // per-chunk flush cadence resume must reproduce.
+  FabricConfig ref = fabric_config(cells, "0/1", "ckpt_ref");
+  ref.checkpoint_path = ref.columnar_path + ".ckpt";
+  ref.checkpoint_cells = 3;
+  {
+    SweepFabric fabric(ref);
+    EXPECT_FALSE(fabric.resumed());
+    run_fabric(fabric);
+  }
+
+  // Attempt 1 "dies" after two committed chunks (the exception models
+  // SIGKILL: the journal holds 6 cells, the sink holds a partial tail).
+  FabricConfig res = fabric_config(cells, "0/1", "ckpt_res");
+  res.checkpoint_path = res.columnar_path + ".ckpt";
+  res.checkpoint_cells = 3;
+  try {
+    SweepFabric fabric(res);
+    std::uint64_t chunks = 0;
+    fabric.run([&](std::uint64_t first, std::uint64_t last) {
+      if (++chunks == 3) throw std::runtime_error("killed");
+      for (std::uint64_t cell = first; cell < last; ++cell) {
+        fabric.begin_cell(cell);
+        fabric.record(cell_record(cell));
+        if (cell % 3 == 0) fabric.record(detail_record(cell));
+      }
+    });
+    FAIL() << "expected the simulated kill to propagate";
+  } catch (const std::runtime_error&) {
+  }
+
+  // Attempt 2 resumes at the last durable chunk boundary and completes.
+  {
+    SweepFabric fabric(res);
+    EXPECT_TRUE(fabric.resumed());
+    EXPECT_EQ(fabric.resume_cell(), 6u);
+    run_fabric(fabric);
+  }
+  EXPECT_EQ(slurp(res.columnar_path), slurp(ref.columnar_path));
+  // Journals are deleted on completion.
+  EXPECT_NE(slurp(res.columnar_path).size(), 0u);
+  std::ifstream journal(res.checkpoint_path);
+  EXPECT_FALSE(journal.good());
+
+  std::remove(ref.columnar_path.c_str());
+  std::remove(res.columnar_path.c_str());
+}
+
+}  // namespace
+}  // namespace manet::exp
